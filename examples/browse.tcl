@@ -1,0 +1,29 @@
+#!wish -f
+# Figure 9 of the paper: a directory browser as a wish script.
+# Run with:  dune exec bin/wish.exe -- -f examples/browse.tcl
+# (the "exec mx"/"exec sh" spawns of the original print their action
+# instead, since the sandbox has no mx editor)
+scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+proc browse {dir file} {
+  if {[string compare $dir "."] != 0} {set file $dir/$file}
+  if [file $file isdirectory] {
+    print "browse: would spawn: sh -c \{browse $file &\}\n"
+  } else {
+    if [file $file isfile] {
+      print "browse: would spawn: mx $file\n"
+    } else {
+      print "$file isn't a directory or regular file\n"
+    }
+  }
+}
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+foreach i [exec ls -a $dir] {
+  .list insert end $i
+}
+bind .list <space> {foreach i [selection get] {browse $dir $i}}
+bind .list <Control-q> {destroy .}
+wm title . browse
+update
+print [screendump .]
