@@ -1,0 +1,1 @@
+bench/loc_count.ml: Array Filename In_channel Int64 List String Sys

@@ -1,0 +1,1 @@
+bench/loc_count.mli:

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Bechamel Benchmark Buffer Float Geom Hashtbl Instance List Loc_count Measure Option Printf Raster Server Staged String Tcl Test Time Tk Tk_widgets Toolkit Unix Window Xsim

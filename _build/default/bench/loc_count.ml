@@ -1,0 +1,72 @@
+let find_repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let count_lines files =
+  List.fold_left
+    (fun acc file ->
+      match In_channel.with_open_text file In_channel.input_all with
+      | contents ->
+        acc
+        + List.length (String.split_on_char '\n' contents)
+        - (if contents <> "" && contents.[String.length contents - 1] = '\n'
+           then 1
+           else 0)
+      | exception Sys_error _ -> acc)
+    0 files
+
+let is_source file =
+  Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+
+let module_files ~root spec =
+  if String.contains spec ',' then
+    List.map (Filename.concat root) (String.split_on_char ',' spec)
+  else
+    let dir = Filename.concat root spec in
+    match Sys.readdir dir with
+    | entries ->
+      Array.to_list entries
+      |> List.filter is_source
+      |> List.map (Filename.concat dir)
+      |> List.sort String.compare
+    | exception Sys_error _ -> []
+
+let compiled_bytes ~root dir =
+  (* Object files live under _build/default/<dir>/.<lib>.objs/native. *)
+  let build_dir = Filename.concat root (Filename.concat "_build/default" dir) in
+  match Sys.readdir build_dir with
+  | exception Sys_error _ -> None
+  | entries ->
+    let objs_dirs =
+      Array.to_list entries
+      |> List.filter (fun e ->
+             String.length e > 5
+             && e.[0] = '.'
+             && Filename.check_suffix e ".objs")
+      |> List.map (fun e -> Filename.concat build_dir (Filename.concat e "native"))
+    in
+    let size_of path =
+      match In_channel.with_open_bin path In_channel.length with
+      | len -> Int64.to_int len
+      | exception Sys_error _ -> 0
+    in
+    let total =
+      List.fold_left
+        (fun acc objs ->
+          match Sys.readdir objs with
+          | exception Sys_error _ -> acc
+          | files ->
+            Array.fold_left
+              (fun acc f ->
+                if Filename.check_suffix f ".o" then
+                  acc + size_of (Filename.concat objs f)
+                else acc)
+              acc files)
+        0 objs_dirs
+    in
+    if total > 0 then Some total else None

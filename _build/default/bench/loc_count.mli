@@ -1,0 +1,18 @@
+(** Source-size accounting for Table I: counts the lines of this
+    repository's modules, grouped the same way as the paper's table, so the
+    bench can print our sizes next to the paper's Tk and Xt/Motif numbers. *)
+
+val find_repo_root : unit -> string option
+(** Walk upward from the current directory to the dune-project root. *)
+
+val count_lines : string list -> int
+(** Total line count of the given files (0 for unreadable ones). *)
+
+val module_files : root:string -> string -> string list
+(** [module_files ~root spec] resolves a size-table group spec: either a
+    directory relative to the root (all .ml/.mli files in it) or an
+    explicit list of files separated by commas. *)
+
+val compiled_bytes : root:string -> string -> int option
+(** Size in bytes of the compiled object files (.cmx + .o under _build)
+    for the given library directory, if they exist. *)

@@ -1,0 +1,510 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§7), plus ablations for the design choices in DESIGN.md.
+
+     dune exec bench/main.exe
+
+   Sections:
+     Table I   — source lines (and compiled bytes) of Tk vs Xt/Motif
+     Table II  — execution times for selected operations
+     Figure 8  — the packer's geometry-management example
+     Sweeps    — widget instantiation, send throughput
+     Ablations — resource cache, structure cache, binding dispatch,
+                 option database *)
+
+open Bechamel
+open Toolkit
+open Xsim
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helper: nanoseconds per run via bechamel's OLS. *)
+
+let measure_ns ?(quota = 0.5) name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> acc)
+    results Float.nan
+
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let run_tcl app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "bench script %S failed: %s" script msg)
+
+let new_display_app name =
+  let server = Server.create () in
+  (server, Tk_widgets.Tk_widgets_lib.new_app ~server ~name ())
+
+(* ------------------------------------------------------------------ *)
+(* Table I: code size comparison *)
+
+(* Paper numbers (source lines / DS3100 object bytes). *)
+type size_row = {
+  label : string;
+  spec : string; (* our sources: a directory or comma-joined files *)
+  obj_dir : string option; (* where our compiled objects live *)
+  xt_lines : int option;
+  tk_lines : int option;
+  xt_bytes : int option;
+  tk_bytes : int option;
+}
+
+let size_rows =
+  [
+    {
+      label = "Intrinsics";
+      spec =
+        String.concat ","
+          (List.concat_map
+             (fun m -> [ "lib/core/" ^ m ^ ".ml"; "lib/core/" ^ m ^ ".mli" ])
+             [
+               "core"; "path"; "dispatch"; "bindpattern"; "rescache";
+               "optiondb"; "selection"; "sendcmd"; "tkcmd"; "place"; "main";
+             ]);
+      obj_dir = Some "lib/core";
+      xt_lines = Some 24900;
+      tk_lines = Some 15100;
+      xt_bytes = Some 216400;
+      tk_bytes = Some 92800;
+    };
+    {
+      label = "Tcl";
+      spec = "lib/tcl";
+      obj_dir = Some "lib/tcl";
+      xt_lines = None;
+      tk_lines = Some 9300;
+      xt_bytes = None;
+      tk_bytes = Some 61100;
+    };
+    {
+      label = "Geometry Manager";
+      spec = "lib/core/pack.ml,lib/core/pack.mli";
+      obj_dir = None;
+      xt_lines = Some 2100;
+      tk_lines = Some 1000;
+      xt_bytes = Some 17100;
+      tk_bytes = Some 7400;
+    };
+    {
+      label = "Buttons";
+      spec = "lib/widgets/button.ml,lib/widgets/button.mli";
+      obj_dir = None;
+      xt_lines = Some 6300;
+      tk_lines = Some 1000;
+      xt_bytes = Some 43700;
+      tk_bytes = Some 8600;
+    };
+    {
+      label = "Scrollbar";
+      spec = "lib/widgets/scrollbar.ml,lib/widgets/scrollbar.mli";
+      obj_dir = None;
+      xt_lines = Some 3000;
+      tk_lines = Some 1200;
+      xt_bytes = Some 24900;
+      tk_bytes = Some 8000;
+    };
+    {
+      label = "Listbox";
+      spec = "lib/widgets/listbox.ml,lib/widgets/listbox.mli";
+      obj_dir = None;
+      xt_lines = Some 6400;
+      tk_lines = Some 1600;
+      xt_bytes = Some 53100;
+      tk_bytes = Some 10700;
+    };
+  ]
+
+let opt_str = function Some n -> string_of_int n | None -> "-"
+
+let table1 () =
+  section "Table I: source size, Xt/Motif vs Tk (paper) vs this repo";
+  match Loc_count.find_repo_root () with
+  | None -> print_endline "  (cannot locate repository root; skipped)"
+  | Some root ->
+    Printf.printf "%-18s %10s %10s %12s %14s\n" "" "Xt/Motif" "Tk (paper)"
+      "ours (OCaml)" "ours (bytes)";
+    let totals = ref (0, 0, 0) in
+    List.iter
+      (fun row ->
+        let files = Loc_count.module_files ~root row.spec in
+        let ours = Loc_count.count_lines files in
+        let bytes =
+          match row.obj_dir with
+          | Some dir -> Loc_count.compiled_bytes ~root dir
+          | None -> None
+        in
+        let xt, tk, o = !totals in
+        totals :=
+          ( xt + Option.value row.xt_lines ~default:0,
+            tk + Option.value row.tk_lines ~default:0,
+            o + ours );
+        Printf.printf "%-18s %10s %10s %12d %14s\n" row.label
+          (opt_str row.xt_lines) (opt_str row.tk_lines) ours
+          (match bytes with Some b -> string_of_int b | None -> "-"))
+      size_rows;
+    let xt, tk, ours = !totals in
+    Printf.printf "%-18s %10d %10d %12d\n" "Total" xt tk ours;
+    Printf.printf
+      "\n\
+      \  Paper's claim: Tk+Tcl is ~0.68x the size of Xt/Motif (%d/%d = %.2f).\n"
+      tk xt
+      (float_of_int tk /. float_of_int xt);
+    Printf.printf
+      "  This repo:     whole reimplementation is %d lines, %.2fx the paper's \
+       Tk\n"
+      ours
+      (float_of_int ours /. float_of_int tk);
+    Printf.printf
+      "  Widget ratios (Xt/Motif lines / ours): buttons %.1fx, scrollbar \
+       %.1fx, listbox %.1fx\n"
+      (6300.0 /. float_of_int (Loc_count.count_lines (Loc_count.module_files ~root "lib/widgets/button.ml,lib/widgets/button.mli")))
+      (3000.0 /. float_of_int (Loc_count.count_lines (Loc_count.module_files ~root "lib/widgets/scrollbar.ml,lib/widgets/scrollbar.mli")))
+      (6400.0 /. float_of_int (Loc_count.count_lines (Loc_count.module_files ~root "lib/widgets/listbox.ml,lib/widgets/listbox.mli")))
+
+(* ------------------------------------------------------------------ *)
+(* Table II: execution times *)
+
+let bench_set_a_1 () =
+  let tcl = Tcl.Builtins.new_interp () in
+  measure_ns "set a 1" (fun () -> ignore (Tcl.Interp.eval tcl "set a 1"))
+
+let bench_send_empty () =
+  let server = Server.create () in
+  let alpha = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+  let _beta = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+  let ns =
+    measure_ns "send empty command" (fun () ->
+        ignore (run_tcl alpha "send beta {}"))
+  in
+  (* Simulated protocol cost: requests for one send. *)
+  Server.reset_stats alpha.Tk.Core.conn;
+  ignore (run_tcl alpha "send beta {}");
+  let stats = Server.stats alpha.Tk.Core.conn in
+  (ns, stats.Server.total_requests, stats.Server.round_trips)
+
+let create_destroy_buttons app n =
+  let buf = Buffer.create 256 in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "button .b%d -text {Button %d}\n" i i);
+    Buffer.add_string buf (Printf.sprintf "pack append . .b%d {top}\n" i)
+  done;
+  ignore (run_tcl app (Buffer.contents buf));
+  Tk.Core.update app;
+  let buf = Buffer.create 256 in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "destroy .b%d\n" i)
+  done;
+  ignore (run_tcl app (Buffer.contents buf));
+  Tk.Core.update app
+
+let bench_50_buttons () =
+  let _server, app = new_display_app "buttons" in
+  let ns =
+    measure_ns ~quota:1.0 "create/display/delete 50 buttons" (fun () ->
+        create_destroy_buttons app 50)
+  in
+  Server.reset_stats app.Tk.Core.conn;
+  create_destroy_buttons app 50;
+  let stats = Server.stats app.Tk.Core.conn in
+  (ns, stats.Server.total_requests)
+
+let table2 () =
+  section "Table II: execution times for selected operations";
+  Printf.printf "%-38s %14s %14s %s\n" "Operation" "paper (DS3100)" "ours"
+    "simulated server traffic";
+  let set_ns = bench_set_a_1 () in
+  Printf.printf "%-38s %14s %11.2f us %s\n" "Simple Tcl command (set a 1)"
+    "68 us" (set_ns /. 1e3) "none";
+  let send_ns, send_reqs, send_rts = bench_send_empty () in
+  Printf.printf "%-38s %14s %11.2f us %s\n" "Send empty command" "15 ms"
+    (send_ns /. 1e3)
+    (Printf.sprintf "%d requests (%d round trips)" send_reqs send_rts);
+  let btn_ns, btn_reqs = bench_50_buttons () in
+  Printf.printf "%-38s %14s %11.2f ms %s\n"
+    "Create, display, delete 50 buttons" "440 ms" (btn_ns /. 1e6)
+    (Printf.sprintf "%d requests" btn_reqs);
+  print_newline ();
+  Printf.printf
+    "  Shape check: set-a-1 is the cheapest by far; send costs ~%.0fx a \
+     local command\n"
+    (send_ns /. set_ns);
+  Printf.printf
+    "  (the paper's ratio was 15ms/68us = ~220x), and 50 widgets cost \
+     ~%.0fx one send.\n"
+    (btn_ns /. send_ns)
+
+(* Deeper Tcl microbenchmarks backing §7's "fast enough to execute many
+   hundreds of Tcl commands within a human response time". *)
+let tcl_micro () =
+  section "Tcl microbenchmarks (\"hundreds of commands per response time\", §7)";
+  let tcl = Tcl.Builtins.new_interp () in
+  ignore (Tcl.Interp.eval tcl "proc nop {} {}");
+  ignore (Tcl.Interp.eval tcl "proc add3 {a b c} {expr {$a + $b + $c}}");
+  ignore (Tcl.Interp.eval tcl "set biglist {}; for {set i 0} {$i < 100} {incr i} {lappend biglist item$i}");
+  let cases =
+    [
+      ("set a 1", "set a 1");
+      ("variable substitution", "set b $a");
+      ("proc call (no args)", "nop");
+      ("proc call (3 args + expr)", "add3 1 2 3");
+      ("braced expr", "expr {3 * 4 + 5}");
+      ("if with braced condition", "if {$a == 1} {nop}");
+      ("foreach over 10 items", "foreach i {1 2 3 4 5 6 7 8 9 10} {}");
+      ("lindex into 100 items", "lindex $biglist 50");
+      ("lsort 100 items", "lsort $biglist");
+      ("string match", "string match *item* xxitemxx");
+      ("regexp literal", "regexp item50 $biglist");
+      ("format", "format %s=%d x 42");
+    ]
+  in
+  Printf.printf "%-32s %12s\n" "command" "per run";
+  List.iter
+    (fun (label, script) ->
+      let ns =
+        measure_ns ~quota:0.25 label (fun () ->
+            ignore (Tcl.Interp.eval tcl script))
+      in
+      Printf.printf "%-32s %9.2f us\n" label (ns /. 1e3))
+    cases;
+  let per_cmd =
+    measure_ns ~quota:0.25 "response-window" (fun () ->
+        ignore (Tcl.Interp.eval tcl "set a 1"))
+  in
+  Printf.printf
+    "\n  Commands executable in a 100 ms human response window: ~%.0f\n"
+    (100e6 /. per_cmd)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: geometry management *)
+
+let figure8 () =
+  section "Figure 8: packer arranging four windows in a column";
+  let _server, app = new_display_app "fig8" in
+  (* Requested sizes (a), parent size (b) as in the figure's proportions. *)
+  ignore (run_tcl app "frame .a -width 40 -height 30 -background gray50");
+  ignore (run_tcl app "frame .b -width 60 -height 30 -background gray75");
+  ignore (run_tcl app "frame .c -width 120 -height 30 -background gray50");
+  ignore (run_tcl app "frame .d -width 50 -height 60 -background gray75");
+  ignore (run_tcl app "pack append . .a {top} .b {top} .c {top} .d {top}");
+  let main = Tk.Core.main_widget app in
+  Tk.Core.move_resize main ~x:main.Tk.Core.x ~y:main.Tk.Core.y ~width:100
+    ~height:120;
+  Tk.Pack.arrange main;
+  Tk.Core.update app;
+  Printf.printf "%-8s %-16s %-16s %s\n" "window" "requested" "granted" "note";
+  List.iter
+    (fun path ->
+      let w = Tk.Core.lookup_exn app path in
+      let note =
+        if w.Tk.Core.width < w.Tk.Core.req_width then "lost width"
+        else if w.Tk.Core.height < w.Tk.Core.req_height then "lost height"
+        else "as requested"
+      in
+      Printf.printf "%-8s %-16s %-16s %s\n" path
+        (Printf.sprintf "%dx%d" w.Tk.Core.req_width w.Tk.Core.req_height)
+        (Printf.sprintf "%dx%d+%d+%d" w.Tk.Core.width w.Tk.Core.height
+           w.Tk.Core.x w.Tk.Core.y)
+        note)
+    [ ".a"; ".b"; ".c"; ".d" ];
+  print_newline ();
+  print_endline "Rendered layout (compare Figure 8(c)):";
+  print_string (Raster.render app.Tk.Core.server ~window:main.Tk.Core.win ())
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps (§7 narrative) *)
+
+let widget_sweep () =
+  section "Sweep: widget instantiation (\"many tens of widgets\", §7)";
+  Printf.printf "%8s %16s %16s\n" "widgets" "total" "per widget";
+  List.iter
+    (fun n ->
+      let _server, app = new_display_app (Printf.sprintf "sweep%d" n) in
+      (* Warm the caches once, then time several runs. *)
+      create_destroy_buttons app n;
+      let runs = 5 in
+      let dt =
+        time_wall (fun () ->
+            for _ = 1 to runs do
+              create_destroy_buttons app n
+            done)
+      in
+      let per = dt /. float_of_int runs in
+      Printf.printf "%8d %13.2f ms %13.1f us\n" n (per *. 1000.0)
+        (per *. 1e6 /. float_of_int n))
+    [ 10; 25; 50; 100; 200 ]
+
+let send_sweep () =
+  section "Sweep: send throughput (paint-through-send scenario, §7)";
+  let server = Server.create () in
+  let alpha = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+  let _beta = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+  ignore (run_tcl alpha "send beta {set warm 1}");
+  let n = 2000 in
+  let dt =
+    time_wall (fun () ->
+        for i = 1 to n do
+          ignore (run_tcl alpha (Printf.sprintf "send beta {set x %d}" i))
+        done)
+  in
+  Printf.printf "  %d sends in %.1f ms: %.1f us per send (%.0f sends/s)\n" n
+    (dt *. 1000.0)
+    (dt *. 1e6 /. float_of_int n)
+    (float_of_int n /. dt);
+  print_endline
+    "  At the paper's 15 ms/send, mouse-motion painting was just feasible;";
+  Printf.printf "  this implementation relays a motion event in ~%.0f us.\n"
+    (dt *. 1e6 /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let rescache_ablation () =
+  section "Ablation: resource cache on/off (§3.3)";
+  let run_case enabled =
+    let _server, app = new_display_app "cache" in
+    Tk.Rescache.set_enabled app.Tk.Core.cache enabled;
+    Server.reset_stats app.Tk.Core.conn;
+    (* 40 widgets sharing 2 colors and 1 font: the paper's "few resources
+       used in many widgets" case. *)
+    for i = 0 to 39 do
+      ignore
+        (run_tcl app
+           (Printf.sprintf
+              "button .b%d -text b%d -foreground black -background gray75" i i))
+    done;
+    Tk.Core.update app;
+    (Server.stats app.Tk.Core.conn).Server.resource_allocs
+  in
+  let on = run_case true in
+  let off = run_case false in
+  Printf.printf
+    "  resource-allocation requests for 40 buttons: cache on = %d, cache off \
+     = %d (%.0fx saved)\n"
+    on off
+    (float_of_int off /. float_of_int (max 1 on))
+
+let structcache_ablation () =
+  section "Ablation: structure cache vs server round trips (§3.3)";
+  let _server, app = new_display_app "struct" in
+  ignore (run_tcl app "frame .f -width 80 -height 40");
+  ignore (run_tcl app "pack append . .f {top}");
+  Tk.Core.update app;
+  let n = 10_000 in
+  Server.reset_stats app.Tk.Core.conn;
+  let cached =
+    time_wall (fun () ->
+        for _ = 1 to n do
+          ignore (run_tcl app "winfo width .f")
+        done)
+  in
+  let cached_rts = (Server.stats app.Tk.Core.conn).Server.round_trips in
+  let w = Tk.Core.lookup_exn app ".f" in
+  Server.reset_stats app.Tk.Core.conn;
+  let direct =
+    time_wall (fun () ->
+        for _ = 1 to n do
+          ignore (Server.query_geometry app.Tk.Core.conn w.Tk.Core.win)
+        done)
+  in
+  let direct_rts = (Server.stats app.Tk.Core.conn).Server.round_trips in
+  Printf.printf
+    "  %d geometry queries: cached %.2f us/query (%d round trips), direct \
+     %.2f us/query (%d round trips)\n"
+    n
+    (cached *. 1e6 /. float_of_int n)
+    cached_rts
+    (direct *. 1e6 /. float_of_int n)
+    direct_rts;
+  print_endline
+    "  (in real X each round trip costs a network RTT; the cache removes \
+     all of them)"
+
+let binding_ablation () =
+  section "Ablation: binding dispatch cost vs number of bindings";
+  Printf.printf "%10s %18s\n" "bindings" "per keystroke";
+  List.iter
+    (fun k ->
+      let server, app = new_display_app (Printf.sprintf "bind%d" k) in
+      ignore (run_tcl app "frame .f -width 60 -height 40");
+      ignore (run_tcl app "pack append . .f {top}");
+      Tk.Core.update app;
+      for i = 1 to k - 1 do
+        (* Distinct keysym details, none of which match 'z'. *)
+        ignore
+          (run_tcl app
+             (Printf.sprintf "bind .f <Control-F%d> {set x %d}" i i))
+      done;
+      ignore (run_tcl app "bind .f z {set hit 1}");
+      let w = Tk.Core.lookup_exn app ".f" in
+      let win = Option.get (Server.lookup_window server w.Tk.Core.win) in
+      let p = Window.root_position win in
+      Server.inject_motion server ~x:(p.Geom.x + 5) ~y:(p.Geom.y + 5);
+      Tk.Core.update app;
+      let n = 2000 in
+      let dt =
+        time_wall (fun () ->
+            for _ = 1 to n do
+              Server.inject_key server ~keysym:"z" ~pressed:true;
+              Tk.Core.update app
+            done)
+      in
+      Printf.printf "%10d %15.2f us\n" k (dt *. 1e6 /. float_of_int n))
+    [ 1; 10; 50; 100 ]
+
+let optiondb_ablation () =
+  section "Ablation: option database lookup vs database size (§3.5)";
+  Printf.printf "%10s %18s\n" "entries" "per lookup";
+  List.iter
+    (fun n ->
+      let db = Tk.Optiondb.create () in
+      for i = 0 to n - 1 do
+        Tk.Optiondb.add db
+          ~pattern:(Printf.sprintf "*widget%d.background" i)
+          "red"
+      done;
+      Tk.Optiondb.add db ~pattern:"*Button.background" "blue";
+      let chain = [ ("app", "Tk"); ("b", "Button") ] in
+      let lookups = 5000 in
+      let dt =
+        time_wall (fun () ->
+            for _ = 1 to lookups do
+              ignore
+                (Tk.Optiondb.get db ~name_chain:chain ~name:"background"
+                   ~cls:"Background")
+            done)
+      in
+      Printf.printf "%10d %15.2f us\n" n (dt *. 1e6 /. float_of_int lookups))
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline "Tk reproduction benchmarks (paper: Ousterhout, USENIX '91)";
+  print_endline "Absolute numbers are 2020s-OCaml-vs-1990-C; compare shapes.";
+  table1 ();
+  table2 ();
+  tcl_micro ();
+  figure8 ();
+  widget_sweep ();
+  send_sweep ();
+  rescache_ablation ();
+  structcache_ablation ();
+  binding_ablation ();
+  optiondb_ablation ();
+  print_newline ()

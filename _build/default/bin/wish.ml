@@ -1,0 +1,147 @@
+(* wish: the windowing shell (paper §5).
+
+   Runs Tcl scripts against a Tk application on a simulated X display:
+
+     wish -f script.tcl        run a script (as in Figure 9's "#!wish -f")
+     wish                      interactive command loop on stdin
+
+   Because the display is simulated, wish adds three commands beyond
+   standard Tk so scripts can be driven and observed headlessly:
+
+     screendump ?window?       print an ASCII rendering of the display
+     inject motion X Y | button N | key KEYSYM | string TEXT
+                               synthesize user input
+     serverstats               print the connection's request counters *)
+
+open Xsim
+
+let install_sim_commands app =
+  let interp = app.Tk.Core.interp in
+  Tcl.Interp.register_value interp "screendump" (fun _ words ->
+      match words with
+      | [ _ ] -> Raster.render app.Tk.Core.server ()
+      | [ _; path ] ->
+        let w = Tk.Core.lookup_exn app path in
+        Raster.render app.Tk.Core.server ~window:w.Tk.Core.win ()
+      | _ -> Tcl.Interp.wrong_args "screendump ?window?");
+  Tcl.Interp.register_value interp "inject" (fun _ words ->
+      let server = app.Tk.Core.server in
+      let int_arg s =
+        match int_of_string_opt s with
+        | Some i -> i
+        | None -> Tcl.Interp.failf "expected integer but got \"%s\"" s
+      in
+      (match words with
+      | [ _; "motion"; x; y ] ->
+        Server.inject_motion server ~x:(int_arg x) ~y:(int_arg y)
+      | [ _; "button"; n ] ->
+        Server.inject_button server ~button:(int_arg n) ~pressed:true;
+        Server.inject_button server ~button:(int_arg n) ~pressed:false
+      | [ _; "press"; n ] ->
+        Server.inject_button server ~button:(int_arg n) ~pressed:true
+      | [ _; "release"; n ] ->
+        Server.inject_button server ~button:(int_arg n) ~pressed:false
+      | [ _; "key"; keysym ] ->
+        Server.inject_key server ~keysym ~pressed:true;
+        Server.inject_key server ~keysym ~pressed:false
+      | [ _; "string"; text ] -> Server.inject_string server text
+      | _ ->
+        Tcl.Interp.wrong_args
+          "inject motion x y | button n | key keysym | string text");
+      Tk.Core.update app;
+      "");
+  Tcl.Interp.register_value interp "serverstats" (fun _ _ ->
+      let s = Server.stats app.Tk.Core.conn in
+      Printf.sprintf
+        "requests %d round-trips %d resources %d windows %d draws %d \
+         properties %d"
+        s.Server.total_requests s.Server.round_trips s.Server.resource_allocs
+        s.Server.window_requests s.Server.draw_requests
+        s.Server.property_requests)
+
+let run_script app path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "wish: couldn't read %s: %s\n" path msg;
+    exit 1
+  | contents -> (
+    match Tcl.Interp.eval app.Tk.Core.interp contents with
+    | Tcl.Interp.Tcl_error, msg ->
+      Printf.eprintf "wish: error in %s: %s\n" path msg;
+      exit 1
+    | _ -> Tk.Core.update app)
+
+(* A command is complete when its braces, brackets and quotes balance
+   (so multi-line procs can be typed at the prompt, as in real wish). *)
+let command_complete script =
+  let n = String.length script in
+  let rec scan i depth in_quote =
+    if i >= n then depth <= 0 && not in_quote
+    else
+      match script.[i] with
+      | '\\' -> scan (i + 2) depth in_quote
+      | '"' -> scan (i + 1) depth (not in_quote)
+      | ('{' | '[') when not in_quote -> scan (i + 1) (depth + 1) in_quote
+      | ('}' | ']') when not in_quote -> scan (i + 1) (depth - 1) in_quote
+      | _ -> scan (i + 1) depth in_quote
+  in
+  scan 0 0 false
+
+let interactive app =
+  Tcl.Interp.set_history_recording app.Tk.Core.interp true;
+  let rec loop pending =
+    print_string (if pending = "" then "% " else "> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let script = if pending = "" then line else pending ^ "\n" ^ line in
+      if not (command_complete script) then loop script
+      else begin
+        Tcl.Interp.record_history_event app.Tk.Core.interp script;
+        (match Tcl.Interp.eval app.Tk.Core.interp script with
+        | Tcl.Interp.Tcl_ok, "" -> ()
+        | Tcl.Interp.Tcl_ok, v -> print_endline v
+        | _, msg -> Printf.printf "error: %s\n" msg);
+        Tk.Core.update app;
+        if not app.Tk.Core.app_destroyed then loop ""
+      end
+  in
+  loop ""
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse script name stay = function
+    | [] -> (script, name, stay)
+    | "-f" :: path :: rest -> parse (Some path) name stay rest
+    | "-name" :: n :: rest -> parse script (Some n) stay rest
+    | "-stay" :: rest -> parse script name true rest
+    | path :: rest when script = None && Sys.file_exists path ->
+      parse (Some path) name stay rest
+    | arg :: _ ->
+      Printf.eprintf "usage: wish ?-f script? ?-name appName? ?-stay?\n";
+      Printf.eprintf "unknown argument: %s\n" arg;
+      exit 2
+  in
+  let script, name, stay = parse None None false (List.tl args) in
+  let app_name =
+    match (name, script) with
+    | Some n, _ -> n
+    | None, Some path -> Filename.remove_extension (Filename.basename path)
+    | None, None -> "wish"
+  in
+  let server = Server.create () in
+  let app =
+    Tk_widgets.Tk_widgets_lib.new_app ~app_class:"Wish" ~server ~name:app_name ()
+  in
+  install_sim_commands app;
+  (* Make the command line available as $argv / $argc, as wish does. *)
+  Tcl.Interp.set_var app.Tk.Core.interp "argv" "";
+  Tcl.Interp.set_var app.Tk.Core.interp "argc" "0";
+  (try
+     match script with
+     | Some path ->
+       run_script app path;
+       if stay then Tk.Core.mainloop app
+     | None -> interactive app
+   with Tcl.Cmd_control.Exit_program code -> exit code)

@@ -1,0 +1,1 @@
+examples/browser.ml: Filename Geom List Option Out_channel Printf Raster Server Sys Tcl Tk Tk_widgets Window Xsim

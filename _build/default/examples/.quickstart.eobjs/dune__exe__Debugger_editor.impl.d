@@ -1,0 +1,1 @@
+examples/debugger_editor.ml: List Printf Raster Server Tcl Tk Tk_widgets Xsim

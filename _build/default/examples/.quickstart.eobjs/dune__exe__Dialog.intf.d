@@ -1,0 +1,1 @@
+examples/dialog.mli:

@@ -1,0 +1,1 @@
+examples/editor.ml: Filename In_channel List Out_channel Printf Raster Server String Tcl Tk Tk_widgets Xsim

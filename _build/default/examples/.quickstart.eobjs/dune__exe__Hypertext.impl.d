@@ -1,0 +1,1 @@
+examples/hypertext.ml: Geom Option Printf Raster Server Tcl Tk Tk_widgets Window Xsim

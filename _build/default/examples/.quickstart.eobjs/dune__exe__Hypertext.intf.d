@@ -1,0 +1,1 @@
+examples/hypertext.mli:

@@ -1,0 +1,1 @@
+examples/interface_editor.ml: Buffer List Printf Raster Server String Tcl Tk Tk_widgets Xsim

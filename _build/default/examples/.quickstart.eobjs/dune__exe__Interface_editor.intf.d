@@ -1,0 +1,1 @@
+examples/interface_editor.mli:

@@ -1,0 +1,1 @@
+examples/paint_relay.ml: Geom Option Printf Raster Server Tcl Tk Tk_widgets Unix Window Xsim

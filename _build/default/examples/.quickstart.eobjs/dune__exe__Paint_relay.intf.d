@@ -1,0 +1,1 @@
+examples/paint_relay.mli:

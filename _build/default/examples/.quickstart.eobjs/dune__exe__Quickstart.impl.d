@@ -1,0 +1,1 @@
+examples/quickstart.ml: Geom Option Printf Raster Server Tcl Tk Tk_widgets Window Xsim

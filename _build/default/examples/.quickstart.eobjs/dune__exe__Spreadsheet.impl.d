@@ -1,0 +1,1 @@
+examples/spreadsheet.ml: Printf Raster Server Tcl Tk Tk_widgets Xsim

@@ -1,0 +1,1 @@
+examples/widget_tour.ml: Printf Raster Server Tcl Tk Tk_widgets Xsim

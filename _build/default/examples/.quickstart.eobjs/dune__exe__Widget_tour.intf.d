@@ -1,0 +1,1 @@
+examples/widget_tour.mli:

@@ -1,0 +1,110 @@
+(* Section 6's motivating scenario: a debugger and an editor built as
+   SEPARATE Tk applications that cooperate through send, instead of one
+   monolithic debugger-with-built-in-editor.
+
+   - The editor displays source code in a listbox.
+   - The debugger, when it steps, sends the editor a command to highlight
+     the current line.
+   - The editor has a "set breakpoint at selected line" button that sends
+     the debugger a command — neither program knows the other's
+     internals, only its Tcl interface. *)
+
+open Xsim
+
+let run app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "[%s] %s: %s" app.Tk.Core.app_name script msg)
+
+let source_lines =
+  [
+    "int main(int argc, char **argv) {";
+    "    int i, total = 0;";
+    "    for (i = 0; i < argc; i++) {";
+    "        total += strlen(argv[i]);";
+    "    }";
+    "    printf(\"%d\\n\", total);";
+    "    return 0;";
+    "}";
+  ]
+
+let () =
+  let server = Server.create () in
+  let editor = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"editor" () in
+  let debugger = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"debugger" () in
+
+  print_endline "== Section 6: debugger and editor as separate programs ==";
+  print_endline "";
+
+  (* --- The editor application --- *)
+  ignore (run editor "listbox .code -geometry 40x10");
+  ignore
+    (run editor
+       "button .breakpoint -text {Set breakpoint} -command {\n\
+       \  send debugger \"break [lindex [.code curselection] 0]\"\n\
+        }");
+  ignore (run editor "pack append . .code {top} .breakpoint {top fillx}");
+  List.iter
+    (fun line ->
+      ignore (run editor (".code insert end " ^ Tcl.Tcl_list.quote_element line)))
+    source_lines;
+  Tk.Core.update editor;
+
+  (* --- The debugger application --- *)
+  ignore (run debugger "set pc 0");
+  ignore (run debugger "set breakpoints {}");
+  (* "break N" is the debugger's application-specific primitive; the
+     editor composes it remotely. *)
+  ignore
+    (run debugger
+       "proc break {line} {\n\
+       \  global breakpoints\n\
+       \  lappend breakpoints $line\n\
+       \  print \"debugger: breakpoint set at line $line\\n\"\n\
+        }");
+  (* Stepping advances the program counter and tells the editor to
+     highlight the current line of execution. *)
+  ignore
+    (run debugger
+       "proc step {} {\n\
+       \  global pc\n\
+       \  set pc [expr $pc + 1]\n\
+       \  send editor \".code select from $pc; .code select to $pc\"\n\
+       \  print \"debugger: stepped to line $pc\\n\"\n\
+        }");
+  ignore (run debugger "button .step -text Step -command step");
+  ignore (run debugger "pack append . .step {top}");
+  Tk.Core.update debugger;
+
+  Printf.printf "Applications on the display: %s\n"
+    (run debugger "winfo interps");
+  print_endline "";
+
+  (* The debugger steps three times: watch the editor's highlight move. *)
+  print_endline "Debugger steps three times (each step sends to the editor):";
+  for _ = 1 to 3 do
+    ignore (run debugger ".step invoke")
+  done;
+  Tk.Core.update_all server;
+  Printf.printf "Editor now highlights line index: %s\n"
+    (run editor ".code curselection");
+  print_endline "";
+  print_endline "Editor screen dump (current line selected):";
+  print_string (Raster.render server ~window:(Tk.Core.main_widget editor).Tk.Core.win ());
+  print_endline "";
+
+  (* The user selects a line in the editor and sets a breakpoint: the
+     editor sends the debugger's own 'break' primitive. *)
+  print_endline "User selects line 5 in the editor and clicks [Set breakpoint]:";
+  ignore (run editor ".code select from 5");
+  ignore (run editor ".breakpoint invoke");
+  Tk.Core.update_all server;
+  Printf.printf "Debugger's breakpoint list: %s\n"
+    (run debugger "set breakpoints");
+  print_endline "";
+
+  (* And send works symmetrically: the debugger can read the editor. *)
+  let line =
+    run debugger "send editor {.code get [lindex [.code curselection] 0]}"
+  in
+  Printf.printf "Debugger reads the highlighted source line remotely: %s\n" line

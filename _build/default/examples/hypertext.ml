@@ -1,0 +1,95 @@
+(* Section 6's "active objects" sketch: hypertext by associating Tcl
+   commands with pieces of text.
+
+   A document viewer displays lines of text; some lines have an embedded
+   Tcl command (stored in a Tcl array, one entry per line). Clicking a
+   line executes its command: one link opens a new view (another listbox),
+   one is a hypermedia link that sends a "play" command to a separate
+   audio application — all without the viewer knowing what the commands
+   do, exactly as the paper describes. *)
+
+open Xsim
+
+let run app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "[%s] %s: %s" app.Tk.Core.app_name script msg)
+
+let () =
+  let server = Server.create () in
+  let viewer = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"viewer" () in
+  let audio = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"audio" () in
+
+  print_endline "== Section 6: hypertext with embedded Tcl commands ==";
+  print_endline "";
+
+  (* --- A tiny "audio server" application: one primitive, 'play'. --- *)
+  ignore
+    (run audio
+       "proc play {clip} {print \"audio: playing clip '$clip'\\n\"; return ok}");
+
+  (* --- The document viewer --- *)
+  ignore (run viewer "listbox .doc -geometry 44x8");
+  ignore (run viewer "pack append . .doc {top}");
+  (* The document: plain lines, plus per-line embedded commands. *)
+  ignore
+    (run viewer
+       ".doc insert end \
+          {Tk: An X11 Toolkit Based on Tcl} \
+          {  } \
+          {Tk permits tools to work together by} \
+          {sending commands to each other.} \
+          {-> open the references in a new view} \
+          {-> play the demo recording}");
+  ignore (run viewer "set action(4) {open_view}");
+  ignore (run viewer "set action(5) {send audio {play tk-demo}}");
+  (* open_view builds a whole new interface element at run time — the
+     paper's point that dialogs etc. need no special support. *)
+  ignore
+    (run viewer
+       "proc open_view {} {\n\
+       \  if [winfo exists .refs] {destroy .refs; return {}}\n\
+       \  listbox .refs -geometry 44x3\n\
+       \  pack append . .refs {top}\n\
+       \  .refs insert end {[1] Ousterhout, Tcl: An Embeddable Language} \
+                          {[8] USENIX Winter 1990} {[10] X Window System}\n\
+       \  print \"viewer: opened references view\\n\"\n\
+        }");
+  (* The hypertext mechanism itself: clicking a line runs its command. *)
+  ignore
+    (run viewer
+       "bind .doc <Button-1> {\n\
+       \  set i [lindex [.doc curselection] 0]\n\
+       \  if [info exists action($i)] {eval $action($i)}\n\
+        }");
+  Tk.Core.update viewer;
+
+  print_endline "The document:";
+  print_string (Raster.render server ~window:(Tk.Core.main_widget viewer).Tk.Core.win ());
+  print_endline "";
+
+  let doc = Tk.Core.lookup_exn viewer ".doc" in
+  let win = Option.get (Server.lookup_window server doc.Tk.Core.win) in
+  let origin = Window.root_position win in
+  let click_line row =
+    Server.inject_motion server ~x:(origin.Geom.x + 30)
+      ~y:(origin.Geom.y + 4 + (row * 13));
+    Server.inject_button server ~button:1 ~pressed:true;
+    Server.inject_button server ~button:1 ~pressed:false;
+    Tk.Core.update_all server
+  in
+
+  print_endline "Clicking the '-> open the references' link (line 4):";
+  click_line 4;
+  Printf.printf "References view exists: %s\n" (run viewer "winfo exists .refs");
+  print_endline "";
+  print_string (Raster.render server ~window:(Tk.Core.main_widget viewer).Tk.Core.win ());
+  print_endline "";
+
+  print_endline "Clicking the hypermedia link (line 5) — sends to the audio app:";
+  click_line 5;
+  print_endline "";
+
+  print_endline "Clicking a plain text line (line 2) does nothing special:";
+  click_line 2;
+  print_endline "(no action bound, only the selection moved)"

@@ -1,0 +1,110 @@
+(* Section 6's spreadsheet sketch: "A Tk-based spreadsheet might permit
+   cells to contain embedded Tcl commands. When such a cell is evaluated
+   the Tcl command would be executed automatically; it could fetch
+   information from an independent database package or from any other
+   program in the environment."
+
+   Two applications:
+   - "database": a trivial key-value store exposing Tcl primitives
+     (dbset / dbget).
+   - "sheet": a 3x3 grid of label widgets. Each cell holds either a plain
+     value or an embedded Tcl command (prefixed with '='). Recalculation
+     evaluates the embedded commands; =-cells can reference other cells
+     (via the 'cell' command) or reach into the database app with send. *)
+
+open Xsim
+
+let run app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> failwith (Printf.sprintf "[%s] %s: %s" app.Tk.Core.app_name script msg)
+
+let () =
+  let server = Server.create () in
+  let sheet = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"sheet" () in
+  let db = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"database" () in
+
+  print_endline "== Section 6: a spreadsheet with embedded Tcl commands ==";
+  print_endline "";
+
+  (* --- The database application: two primitives, dbset and dbget. --- *)
+  ignore (run db "proc dbset {key value} {global DB; set DB($key) $value}");
+  ignore
+    (run db
+       "proc dbget {key} {global DB; if [info exists DB($key)] {return \
+        $DB($key)} else {return 0}}");
+  ignore (run db "dbset widgets-sold 412");
+  ignore (run db "dbset price-each 3");
+
+  (* --- The spreadsheet --- *)
+  (* The grid: rows of frames, each holding label widgets. *)
+  ignore (run sheet "option add *Label.relief sunken");
+  for r = 0 to 2 do
+    ignore (run sheet (Printf.sprintf "frame .r%d" r));
+    for c = 0 to 2 do
+      ignore
+        (run sheet
+           (Printf.sprintf "label .r%d.c%d -width 14 -text {}" r c));
+      ignore (run sheet (Printf.sprintf "pack append .r%d .r%d.c%d {left}" r r c))
+    done;
+    ignore (run sheet (Printf.sprintf "pack append . .r%d {top}" r))
+  done;
+
+  (* Cell contents live in the array 'formula'; 'cell' reads a computed
+     value; 'recalc' evaluates every formula in order. *)
+  ignore
+    (run sheet
+       "proc cell {r c} {global value; return $value($r,$c)}\n\
+        proc setcell {r c f} {global formula; set formula($r,$c) $f}\n\
+        proc recalc {} {\n\
+       \  global formula value\n\
+       \  foreach k [lsort [array names formula]] {\n\
+       \    set f $formula($k)\n\
+       \    if {[string index $f 0] == \"=\"} {\n\
+       \      set value($k) [eval [string range $f 1 end]]\n\
+       \    } else {\n\
+       \      set value($k) $f\n\
+       \    }\n\
+       \    scan $k {%d,%d} r c\n\
+       \    .r$r.c$c configure -text $value($k)\n\
+       \  }\n\
+        }");
+
+  (* Fill the sheet: plain values, a cross-cell formula, and two cells
+     whose embedded commands reach into the database application. *)
+  ignore (run sheet "setcell 0 0 {Units:}");
+  ignore (run sheet "setcell 0 1 {=send database {dbget widgets-sold}}");
+  ignore (run sheet "setcell 1 0 {Price:}");
+  ignore (run sheet "setcell 1 1 {=send database {dbget price-each}}");
+  ignore (run sheet "setcell 2 0 {Total:}");
+  ignore (run sheet "setcell 2 1 {=expr {[cell 0 1] * [cell 1 1]}}");
+  ignore (run sheet "recalc");
+  Tk.Core.update_all server;
+
+  print_endline "After the first recalculation:";
+  print_string
+    (Raster.render server ~window:(Tk.Core.main_widget sheet).Tk.Core.win ());
+  print_endline "";
+  Printf.printf "Total cell computes %s * %s = %s\n" (run sheet "cell 0 1")
+    (run sheet "cell 1 1") (run sheet "cell 2 1");
+  print_endline "";
+
+  (* The database changes — the spreadsheet "reaches out and retrieves
+     fresh data values" on the next evaluation. *)
+  print_endline "The database is updated (dbset widgets-sold 1000) and the";
+  print_endline "sheet recalculates:";
+  ignore (run db "dbset widgets-sold 1000");
+  ignore (run sheet "recalc");
+  Tk.Core.update_all server;
+  Printf.printf "Total is now: %s\n" (run sheet "cell 2 1");
+  print_endline "";
+  print_string
+    (Raster.render server ~window:(Tk.Core.main_widget sheet).Tk.Core.win ());
+  print_endline "";
+
+  (* And any other application can drive the whole spreadsheet. *)
+  ignore
+    (run db "send sheet {setcell 2 2 {=format {(%d rows)} 3}; recalc}");
+  Tk.Core.update_all server;
+  Printf.printf "A remote send added a new formula cell: %s\n"
+    (run sheet "cell 2 2")

@@ -1,0 +1,1 @@
+lib/core/bindpattern.ml: Event List Option Printf String Xsim

@@ -1,0 +1,1 @@
+lib/core/bindpattern.mli: Xsim

@@ -1,0 +1,1 @@
+lib/core/core.ml: Atom Bindpattern Buffer Color Dispatch Event Float Font Geom Hashtbl List Option Optiondb Path Printf Rescache Server String Tcl Unix Window Xid Xsim

@@ -1,0 +1,1 @@
+lib/core/core.mli: Bindpattern Color Dispatch Event Font Gcontext Hashtbl Optiondb Rescache Server Tcl Xid Xsim

@@ -1,0 +1,1 @@
+lib/core/main.ml: Core Tkcmd

@@ -1,0 +1,1 @@
+lib/core/main.mli: Core Xsim

@@ -1,0 +1,1 @@
+lib/core/optiondb.ml: Buffer List Option Printf String

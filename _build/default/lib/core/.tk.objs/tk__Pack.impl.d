@@ -1,0 +1,1 @@
+lib/core/pack.ml: Core Fun Hashtbl List Path String Tcl

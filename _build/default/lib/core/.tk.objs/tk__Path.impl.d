@@ -1,0 +1,1 @@
+lib/core/path.ml: Char List String

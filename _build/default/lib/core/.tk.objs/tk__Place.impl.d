@@ -1,0 +1,1 @@
+lib/core/place.ml: Core Hashtbl List Option Path Printf String Tcl

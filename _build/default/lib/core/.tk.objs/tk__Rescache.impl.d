@@ -1,0 +1,1 @@
+lib/core/rescache.ml: Bitmap Color Cursor Font Gcontext Hashtbl Option Printf Server String Xsim

@@ -1,0 +1,1 @@
+lib/core/selection.ml: Atom Core Event Hashtbl List Option Server Tcl Window Xid Xsim

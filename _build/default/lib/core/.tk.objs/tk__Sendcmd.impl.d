@@ -1,0 +1,1 @@
+lib/core/sendcmd.ml: Atom Core Event List Printf Server String Tcl Window Xsim

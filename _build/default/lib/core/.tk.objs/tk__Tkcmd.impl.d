@@ -1,0 +1,1 @@
+lib/core/tkcmd.ml: Core Dispatch Hashtbl In_channel List Option Optiondb Pack Path Place Printf Selection Sendcmd String Tcl Unix Xsim

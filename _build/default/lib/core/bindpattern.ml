@@ -1,0 +1,213 @@
+open Xsim
+
+type kind =
+  | Key_press
+  | Key_release
+  | Button_press
+  | Button_release
+  | Motion
+  | Enter
+  | Leave
+  | Focus_in
+  | Focus_out
+  | Expose
+  | Map
+  | Unmap
+  | Destroy
+  | Configure
+  | Property
+
+type modifier =
+  | Shift
+  | Control
+  | Meta
+  | Alt
+  | Lock
+  | Double
+  | Triple
+  | Any
+  | Button1_held
+  | Button2_held
+  | Button3_held
+
+type pattern = {
+  kind : kind;
+  detail : string option;
+  modifiers : modifier list;
+}
+
+let kind_names =
+  [
+    ("KeyPress", Key_press); ("Key", Key_press); ("KeyRelease", Key_release);
+    ("ButtonPress", Button_press); ("Button", Button_press);
+    ("ButtonRelease", Button_release); ("Motion", Motion); ("Enter", Enter);
+    ("Leave", Leave); ("FocusIn", Focus_in); ("FocusOut", Focus_out);
+    ("Expose", Expose); ("Map", Map); ("Unmap", Unmap); ("Destroy", Destroy);
+    ("Configure", Configure); ("Property", Property);
+  ]
+
+let modifier_names =
+  [
+    ("Shift", Shift); ("Control", Control); ("Ctrl", Control); ("Meta", Meta);
+    ("M", Meta); ("Alt", Alt); ("Lock", Lock); ("Double", Double);
+    ("Triple", Triple); ("Any", Any); ("B1", Button1_held);
+    ("Button1", Button1_held); ("B2", Button2_held); ("Button2", Button2_held);
+    ("B3", Button3_held); ("Button3", Button3_held);
+  ]
+
+let kind_name kind =
+  (* First entry wins: canonical name. *)
+  fst (List.find (fun (_, k) -> k = kind) kind_names)
+
+let modifier_name m = fst (List.find (fun (_, v) -> v = m) modifier_names)
+
+let is_button_number s =
+  String.length s = 1 && s.[0] >= '1' && s.[0] <= '5'
+
+(* Parse the contents of one <...> pattern. *)
+let parse_long spec =
+  let fields = String.split_on_char '-' spec in
+  let fields = List.filter (fun f -> f <> "") fields in
+  let rec take_modifiers acc = function
+    | f :: rest when List.mem_assoc f modifier_names && rest <> [] ->
+      take_modifiers (List.assoc f modifier_names :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let modifiers, rest = take_modifiers [] fields in
+  match rest with
+  | [] -> (
+    (* Everything parsed as a modifier: <Double> alone is invalid except
+       when the last field is really a keysym (e.g. <Control> the key). *)
+    match List.rev modifiers with
+    | _ -> Error (Printf.sprintf "no event type or button # or keysym in \"%s\"" spec))
+  | [ type_or_detail ] ->
+    if List.mem_assoc type_or_detail kind_names then
+      Ok { kind = List.assoc type_or_detail kind_names; detail = None; modifiers }
+    else if is_button_number type_or_detail then
+      Ok { kind = Button_press; detail = Some type_or_detail; modifiers }
+    else
+      (* A bare keysym: <Escape>, <Control-w>. *)
+      Ok { kind = Key_press; detail = Some type_or_detail; modifiers }
+  | [ type_name; detail ] ->
+    if List.mem_assoc type_name kind_names then
+      let kind = List.assoc type_name kind_names in
+      Ok { kind; detail = Some detail; modifiers }
+    else
+      Error
+        (Printf.sprintf "bad event type or keysym \"%s\" in \"%s\"" type_name
+           spec)
+  | _ -> Error (Printf.sprintf "too many fields in event pattern \"%s\"" spec)
+
+let parse_sequence seq =
+  let n = String.length seq in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else if seq.[i] = ' ' || seq.[i] = '\t' then go (i + 1) acc
+    else if seq.[i] = '<' then
+      match String.index_from_opt seq i '>' with
+      | None -> Error (Printf.sprintf "missing \">\" in binding \"%s\"" seq)
+      | Some j -> (
+        let spec = String.sub seq (i + 1) (j - i - 1) in
+        match parse_long spec with
+        | Ok p -> go (j + 1) (p :: acc)
+        | Error _ as e -> e)
+    else
+      (* Shorthand: a single character = pressing that key. *)
+      let keysym = Event.keysym_of_char seq.[i] in
+      go (i + 1)
+        ({ kind = Key_press; detail = Some keysym; modifiers = [] } :: acc)
+  in
+  match go 0 [] with
+  | Ok [] -> Error (Printf.sprintf "no events specified in binding \"%s\"" seq)
+  | r -> r
+
+let canonical patterns =
+  String.concat ""
+    (List.map
+       (fun p ->
+         let mods =
+           List.map (fun m -> modifier_name m ^ "-") p.modifiers
+         in
+         let detail =
+           match p.detail with Some d -> "-" ^ d | None -> ""
+         in
+         "<" ^ String.concat "" mods ^ kind_name p.kind ^ detail ^ ">")
+       patterns)
+
+let state_of_event (event : Event.t) =
+  match event with
+  | Event.Key_press k | Event.Key_release k -> Some k.Event.key_state
+  | Event.Button_press b | Event.Button_release b -> Some b.Event.button_state
+  | Event.Motion m -> Some m.Event.motion_state
+  | Event.Enter c | Event.Leave c -> Some c.Event.crossing_state
+  | _ -> None
+
+let modifier_matches state click_count m =
+  match m with
+  | Any -> true
+  | Double -> click_count >= 2
+  | Triple -> click_count >= 3
+  | Shift -> state.Event.shift
+  | Control -> state.Event.control
+  | Meta -> state.Event.meta
+  | Alt -> state.Event.alt
+  | Lock -> state.Event.lock
+  | Button1_held -> state.Event.button1
+  | Button2_held -> state.Event.button2
+  | Button3_held -> state.Event.button3
+
+let kind_of_event (event : Event.t) =
+  match event with
+  | Event.Key_press _ -> Some Key_press
+  | Event.Key_release _ -> Some Key_release
+  | Event.Button_press _ -> Some Button_press
+  | Event.Button_release _ -> Some Button_release
+  | Event.Motion _ -> Some Motion
+  | Event.Enter _ -> Some Enter
+  | Event.Leave _ -> Some Leave
+  | Event.Focus_in -> Some Focus_in
+  | Event.Focus_out -> Some Focus_out
+  | Event.Expose _ -> Some Expose
+  | Event.Map_notify -> Some Map
+  | Event.Unmap_notify -> Some Unmap
+  | Event.Destroy_notify -> Some Destroy
+  | Event.Configure_notify _ -> Some Configure
+  | Event.Property_notify _ -> Some Property
+  | Event.Selection_clear _ | Event.Selection_request _
+  | Event.Selection_notify _ ->
+    None
+
+let detail_matches pattern (event : Event.t) =
+  match pattern.detail with
+  | None -> true
+  | Some d -> (
+    match event with
+    | Event.Key_press k | Event.Key_release k -> k.Event.keysym = d
+    | Event.Button_press b | Event.Button_release b ->
+      string_of_int b.Event.button = d
+    | _ -> false)
+
+let matches pattern event ~click_count =
+  match kind_of_event event with
+  | None -> false
+  | Some kind ->
+    kind = pattern.kind
+    && detail_matches pattern event
+    &&
+    let state = Option.value (state_of_event event) ~default:Event.empty_state in
+    List.for_all (modifier_matches state click_count) pattern.modifiers
+
+let specificity patterns =
+  let pattern_score p =
+    (match p.detail with Some _ -> 100 | None -> 0)
+    + (10
+       * List.length
+           (List.filter (fun m -> m <> Any) p.modifiers))
+  in
+  (1000 * List.length patterns)
+  + List.fold_left (fun acc p -> acc + pattern_score p) 0 patterns
+
+let is_press (event : Event.t) =
+  match event with
+  | Event.Key_press _ | Event.Button_press _ -> true
+  | _ -> false

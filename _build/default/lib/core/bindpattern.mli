@@ -1,0 +1,65 @@
+(** The event-pattern language of the [bind] command (paper §3.2 and
+    Figure 7).
+
+    A binding sequence is one or more patterns: a long form in angle
+    brackets like [<Double-Button-1>], [<Control-w>], [<Enter>], or a bare
+    character as shorthand for pressing that key — so ["<Escape>q"] means
+    the Escape key followed by the [q] key. *)
+
+type kind =
+  | Key_press
+  | Key_release
+  | Button_press
+  | Button_release
+  | Motion
+  | Enter
+  | Leave
+  | Focus_in
+  | Focus_out
+  | Expose
+  | Map
+  | Unmap
+  | Destroy
+  | Configure
+  | Property
+
+type modifier =
+  | Shift
+  | Control
+  | Meta
+  | Alt
+  | Lock
+  | Double
+  | Triple
+  | Any
+  | Button1_held
+  | Button2_held
+  | Button3_held
+
+type pattern = {
+  kind : kind;
+  detail : string option;  (** keysym, or button number as a string *)
+  modifiers : modifier list;
+}
+
+val parse_sequence : string -> (pattern list, string) result
+(** Parse a binding sequence. Errors mirror Tk's
+    ["bad event type or keysym ..."] messages. *)
+
+val canonical : pattern list -> string
+(** A normal form used as the binding-table key, so [<ButtonPress-1>] and
+    [<Button-1>] and [<1>] name the same binding. *)
+
+val matches : pattern -> Xsim.Event.t -> click_count:int -> bool
+(** Does one pattern match one event? [click_count] is the current
+    multi-click count for Double/Triple. Listed modifiers must be present
+    in the event state; unlisted ones are ignored. *)
+
+val specificity : pattern list -> int
+(** Score for picking the most specific of several matching bindings:
+    longer sequences beat shorter, details beat no detail, more modifiers
+    beat fewer. *)
+
+val is_press : Xsim.Event.t -> bool
+(** Key or button press — the events that participate in multi-pattern
+    sequence history. *)

@@ -1,0 +1,1117 @@
+open Xsim
+
+let failf = Tcl.Interp.failf
+
+(* ------------------------------------------------------------------ *)
+(* Option specs *)
+
+type option_type =
+  | Ot_string
+  | Ot_int
+  | Ot_pixels
+  | Ot_color
+  | Ot_font
+  | Ot_cursor
+  | Ot_bitmap
+  | Ot_relief
+  | Ot_boolean
+  | Ot_anchor
+
+type spec = {
+  switch : string;
+  db_name : string;
+  db_class : string;
+  default : string;
+  otype : option_type;
+}
+
+let spec ~switch ~db ~cls ~default otype =
+  { switch; db_name = db; db_class = cls; default; otype }
+
+type relief = Raised | Sunken | Flat
+
+type anchor = N | NE | E | SE | S | SW | W | NW | Center
+
+(* Screen distances at the simulated 75 dpi. *)
+let parse_pixels s =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    let n = String.length s in
+    let last = s.[n - 1] in
+    let numeric, scale =
+      match last with
+      | 'c' -> (String.sub s 0 (n - 1), 75.0 /. 2.54)
+      | 'm' -> (String.sub s 0 (n - 1), 75.0 /. 25.4)
+      | 'i' -> (String.sub s 0 (n - 1), 75.0)
+      | 'p' -> (String.sub s 0 (n - 1), 75.0 /. 72.0)
+      | _ -> (s, 1.0)
+    in
+    match float_of_string_opt (String.trim numeric) with
+    | Some f -> Some (int_of_float (Float.round (f *. scale)))
+    | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Core types *)
+
+type wdata = ..
+
+type wdata += No_data
+
+type widget = {
+  path : string;
+  wclass : wclass;
+  win : Xid.t;
+  app : app;
+  config : (string, string) Hashtbl.t;
+  mutable destroyed : bool;
+  mutable x : int;
+  mutable y : int;
+  mutable width : int;
+  mutable height : int;
+  mutable mapped : bool;
+  mutable req_width : int;
+  mutable req_height : int;
+  mutable geom_mgr : geom_mgr option;
+  mutable redraw_pending : bool;
+  mutable data : wdata;
+  mutable last_click : (int * int * int) option;
+  mutable press_history : (Event.t * int) list;
+}
+
+and wclass = {
+  cname : string;
+  specs : spec list;
+  mutable configure_hook : widget -> unit;
+  mutable display : widget -> unit;
+  mutable handle_event : widget -> Event.t -> unit;
+  mutable subcommands : widget -> string list -> Tcl.Interp.result;
+  mutable cleanup : widget -> unit;
+}
+
+and geom_mgr = {
+  gm_name : string;
+  gm_slave_request : widget -> unit;
+  gm_lost_slave : widget -> unit;
+}
+
+and app = {
+  mutable app_name : string;
+  app_class : string;
+  interp : Tcl.Interp.t;
+  conn : Server.connection;
+  server : Server.t;
+  widgets : (string, widget) Hashtbl.t;
+  by_xid : (Xid.t, widget) Hashtbl.t;
+  cache : Rescache.t;
+  options : Optiondb.t;
+  bindings : (string, binding list ref) Hashtbl.t;
+  disp : Dispatch.t;
+  mutable focus_path : string option;
+  comm_win : Xid.t;
+  mutable send_serial : int;
+  mutable title : string;
+  mutable app_destroyed : bool;
+  mutable error_handler : string -> unit;
+  mutable configure_hooks : (widget -> unit) list;
+  mutable pre_handlers : (app -> Event.delivery -> bool) list;
+  mutable grab_path : string option;
+  sel : sel_state;
+}
+
+and binding = {
+  bseq : Bindpattern.pattern list;
+  bkey : string;
+  bscript : string;
+}
+
+and sel_state = {
+  mutable sel_owner_path : string option;
+  mutable sel_provider : (unit -> string) option;
+  mutable sel_tcl_handler : string option;
+  mutable sel_pending : string option option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Local application registry (in-process "display clients") *)
+
+let registries : (Server.t * app list ref) list ref = ref []
+
+let registry_for server =
+  match List.find_opt (fun (s, _) -> s == server) !registries with
+  | Some (_, apps) -> apps
+  | None ->
+    let apps = ref [] in
+    registries := (server, apps) :: !registries;
+    apps
+
+let local_apps server = !(registry_for server)
+
+let app_of_comm server comm =
+  List.find_opt (fun app -> app.comm_win = comm) (local_apps server)
+
+let registry_property = "TK_REGISTRY"
+
+(* ------------------------------------------------------------------ *)
+(* Widget lookup *)
+
+let lookup app path = Hashtbl.find_opt app.widgets path
+
+let lookup_exn app path =
+  match lookup app path with
+  | Some w when not w.destroyed -> w
+  | Some _ | None -> failf "bad window path name \"%s\"" path
+
+let main_widget app = lookup_exn app "."
+
+let children w =
+  Hashtbl.fold
+    (fun path child acc ->
+      if Path.parent path = Some w.path then child :: acc else acc)
+    w.app.widgets []
+  |> List.sort (fun a b -> String.compare a.path b.path)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration machinery *)
+
+let find_spec w switch =
+  let specs = w.wclass.specs in
+  match List.find_opt (fun s -> s.switch = switch) specs with
+  | Some s -> s
+  | None -> (
+    (* Unique abbreviations are accepted, as in Tk. *)
+    let is_prefix p s =
+      String.length p <= String.length s
+      && String.sub s 0 (String.length p) = p
+    in
+    match List.filter (fun s -> is_prefix switch s.switch) specs with
+    | [ s ] -> s
+    | [] -> failf "unknown option \"%s\"" switch
+    | _ -> failf "ambiguous option \"%s\"" switch)
+
+let validate w spec value =
+  match spec.otype with
+  | Ot_string -> ()
+  | Ot_int ->
+    if int_of_string_opt (String.trim value) = None then
+      failf "expected integer but got \"%s\"" value
+  | Ot_pixels ->
+    if parse_pixels value = None then
+      failf "bad screen distance \"%s\"" value
+  | Ot_color ->
+    if Rescache.color w.app.cache value = None then
+      failf "unknown color name \"%s\"" value
+  | Ot_font ->
+    if Rescache.font w.app.cache value = None then
+      failf "font \"%s\" doesn't exist" value
+  | Ot_cursor ->
+    if value <> "" && Rescache.cursor w.app.cache value = None then
+      failf "bad cursor spec \"%s\"" value
+  | Ot_bitmap ->
+    if value <> "" && Rescache.bitmap w.app.cache value = None then
+      failf "bitmap \"%s\" not defined" value
+  | Ot_relief -> (
+    match value with
+    | "raised" | "sunken" | "flat" -> ()
+    | _ -> failf "bad relief type \"%s\": must be raised, sunken or flat" value)
+  | Ot_boolean -> (
+    match String.lowercase_ascii value with
+    | "0" | "1" | "true" | "false" | "yes" | "no" | "on" | "off" -> ()
+    | _ -> failf "expected boolean value but got \"%s\"" value)
+  | Ot_anchor -> (
+    match value with
+    | "n" | "ne" | "e" | "se" | "s" | "sw" | "w" | "nw" | "center" -> ()
+    | _ ->
+      failf
+        "bad anchor position \"%s\": must be n, ne, e, se, s, sw, w, nw, or \
+         center"
+        value)
+
+let set_option w spec value =
+  validate w spec value;
+  Hashtbl.replace w.config spec.switch value
+
+let configure w pairs =
+  let rec go = function
+    | [] -> ()
+    | switch :: value :: rest ->
+      set_option w (find_spec w switch) value;
+      go rest
+    | [ switch ] -> failf "value for \"%s\" missing" switch
+  in
+  go pairs;
+  w.wclass.configure_hook w
+
+let cget w switch =
+  let spec = find_spec w switch in
+  match Hashtbl.find_opt w.config spec.switch with
+  | Some v -> v
+  | None -> spec.default
+
+(* The (name, class) chain used for option-database lookups: the
+   application, then every window from the top down. *)
+let name_chain w =
+  let rec prefixes acc path =
+    match Path.parent path with
+    | None -> acc
+    | Some parent -> prefixes (path :: acc) parent
+  in
+  let paths = prefixes [] w.path in
+  (w.app.app_name, w.app.app_class)
+  :: List.filter_map
+       (fun path ->
+         Option.map
+           (fun widget -> (Path.basename path, widget.wclass.cname))
+           (lookup w.app path))
+       paths
+
+let configure_info w switch =
+  let one spec =
+    let current =
+      match Hashtbl.find_opt w.config spec.switch with
+      | Some v -> v
+      | None -> spec.default
+    in
+    Tcl.Tcl_list.format
+      [ spec.switch; spec.db_name; spec.db_class; spec.default; current ]
+  in
+  match switch with
+  | Some s -> one (find_spec w s)
+  | None ->
+    Tcl.Tcl_list.format (List.map one w.wclass.specs)
+
+(* Typed accessors. Values were validated at configure time, so failures
+   here indicate a missing default in a widget's spec table. *)
+let get_string w switch = cget w switch
+
+let get_int w switch =
+  match int_of_string_opt (String.trim (cget w switch)) with
+  | Some i -> i
+  | None -> failf "option %s of %s is not an integer" switch w.path
+
+let get_pixels w switch =
+  match parse_pixels (cget w switch) with
+  | Some px -> px
+  | None -> failf "option %s of %s is not a screen distance" switch w.path
+
+let get_boolean w switch =
+  match String.lowercase_ascii (cget w switch) with
+  | "1" | "true" | "yes" | "on" -> true
+  | _ -> false
+
+let get_relief w switch =
+  match cget w switch with
+  | "raised" -> Raised
+  | "sunken" -> Sunken
+  | _ -> Flat
+
+let get_anchor w switch =
+  match cget w switch with
+  | "n" -> N
+  | "ne" -> NE
+  | "e" -> E
+  | "se" -> SE
+  | "s" -> S
+  | "sw" -> SW
+  | "w" -> W
+  | "nw" -> NW
+  | _ -> Center
+
+let get_color w switch =
+  match Rescache.color w.app.cache (cget w switch) with
+  | Some c -> c
+  | None -> Color.black
+
+let get_font w switch =
+  match Rescache.font w.app.cache (cget w switch) with
+  | Some f -> f
+  | None -> Option.get (Font.parse Font.default_name)
+
+let resolve_option_or_literal w name =
+  if String.length name > 0 && name.[0] = '-' then cget w name else name
+
+let widget_gc w ~fg ?font () =
+  let fg = resolve_option_or_literal w fg in
+  let font = Option.map (resolve_option_or_literal w) font in
+  Rescache.gc w.app.cache ~foreground:fg ?font ()
+
+(* ------------------------------------------------------------------ *)
+(* Class helpers *)
+
+let make_class ~name ~specs () =
+  {
+    cname = name;
+    specs;
+    configure_hook = (fun _ -> ());
+    display = (fun _ -> ());
+    handle_event = (fun _ _ -> ());
+    subcommands =
+      (fun w words ->
+        match words with
+        | _ :: sub :: _ -> failf "bad option \"%s\" for %s" sub w.path
+        | _ -> failf "wrong # args for %s" w.path);
+    cleanup = (fun _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Geometry plumbing *)
+
+let schedule_redraw w =
+  if (not w.redraw_pending) && not w.destroyed then begin
+    w.redraw_pending <- true;
+    Dispatch.when_idle w.app.disp (fun () ->
+        w.redraw_pending <- false;
+        if (not w.destroyed) && w.mapped then begin
+          Server.clear_window w.app.conn w.win;
+          w.wclass.display w
+        end)
+  end
+
+let move_resize w ~x ~y ~width ~height =
+  if
+    (not w.destroyed)
+    && (x <> w.x || y <> w.y || width <> w.width || height <> w.height)
+  then begin
+    Server.configure_window w.app.conn ~x ~y ~width ~height w.win;
+    (* Structure cache: mirror the change without waiting for the
+       ConfigureNotify round trip. *)
+    w.x <- x;
+    w.y <- y;
+    let resized = width <> w.width || height <> w.height in
+    w.width <- width;
+    w.height <- height;
+    if resized then schedule_redraw w
+  end
+
+let request_size w ~width ~height =
+  let width = max 1 width and height = max 1 height in
+  if width <> w.req_width || height <> w.req_height then begin
+    w.req_width <- width;
+    w.req_height <- height;
+    match w.geom_mgr with
+    | Some mgr -> mgr.gm_slave_request w
+    | None ->
+      (* The main window negotiates with the window manager; our simulated
+         WM always grants the request. *)
+      if w.path = "." then
+        move_resize w ~x:w.x ~y:w.y ~width ~height
+  end
+
+let map_widget w =
+  if (not w.mapped) && not w.destroyed then begin
+    Server.map_window w.app.conn w.win;
+    w.mapped <- true;
+    schedule_redraw w
+  end
+
+let unmap_widget w =
+  if w.mapped && not w.destroyed then begin
+    Server.unmap_window w.app.conn w.win;
+    w.mapped <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bindings *)
+
+let bindings_for app path =
+  match Hashtbl.find_opt app.bindings path with
+  | Some l -> !l
+  | None -> []
+
+let bind_widget app ~path ~sequence ~script =
+  match Bindpattern.parse_sequence sequence with
+  | Error msg -> failf "%s" msg
+  | Ok bseq ->
+    let bkey = Bindpattern.canonical bseq in
+    let cell =
+      match Hashtbl.find_opt app.bindings path with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace app.bindings path l;
+        l
+    in
+    cell := List.filter (fun b -> b.bkey <> bkey) !cell;
+    if script <> "" then cell := { bseq; bkey; bscript = script } :: !cell
+
+let binding_script app ~path ~sequence =
+  match Bindpattern.parse_sequence sequence with
+  | Error msg -> failf "%s" msg
+  | Ok bseq ->
+    let bkey = Bindpattern.canonical bseq in
+    List.find_map
+      (fun b -> if b.bkey = bkey then Some b.bscript else None)
+      (bindings_for app path)
+
+let bound_sequences app ~path =
+  List.map (fun b -> b.bkey) (bindings_for app path)
+
+(* Figure 7: %-substitution of event fields into binding scripts. *)
+let percent_substitute script w (event : Event.t) ~time =
+  let coords =
+    match event with
+    | Event.Key_press k | Event.Key_release k -> Some (k.Event.kx, k.Event.ky)
+    | Event.Button_press b | Event.Button_release b ->
+      Some (b.Event.bx, b.Event.by)
+    | Event.Motion m -> Some (m.Event.mx, m.Event.my)
+    | Event.Configure_notify c -> Some (c.Event.cx, c.Event.cy)
+    | Event.Expose e -> Some (e.Event.ex, e.Event.ey)
+    | _ -> None
+  in
+  let dims =
+    match event with
+    | Event.Configure_notify c -> Some (c.Event.cwidth, c.Event.cheight)
+    | Event.Expose e -> Some (e.Event.ewidth, e.Event.eheight)
+    | _ -> None
+  in
+  let state =
+    match event with
+    | Event.Key_press k | Event.Key_release k -> Some k.Event.key_state
+    | Event.Button_press b | Event.Button_release b ->
+      Some b.Event.button_state
+    | Event.Motion m -> Some m.Event.motion_state
+    | Event.Enter c | Event.Leave c -> Some c.Event.crossing_state
+    | _ -> None
+  in
+  let state_mask =
+    match state with
+    | None -> 0
+    | Some s ->
+      (if s.Event.shift then 1 else 0)
+      lor (if s.Event.lock then 2 else 0)
+      lor (if s.Event.control then 4 else 0)
+      lor (if s.Event.meta then 8 else 0)
+      lor (if s.Event.alt then 16 else 0)
+      lor (if s.Event.button1 then 256 else 0)
+      lor (if s.Event.button2 then 512 else 0)
+      lor if s.Event.button3 then 1024 else 0
+  in
+  let rec root_x widget acc =
+    match Path.parent widget.path with
+    | None -> acc + widget.x
+    | Some p -> (
+      match lookup widget.app p with
+      | Some parent -> root_x parent (acc + widget.x)
+      | None -> acc + widget.x)
+  in
+  let rec root_y widget acc =
+    match Path.parent widget.path with
+    | None -> acc + widget.y
+    | Some p -> (
+      match lookup widget.app p with
+      | Some parent -> root_y parent (acc + widget.y)
+      | None -> acc + widget.y)
+  in
+  let expand c =
+    match c with
+    | '%' -> "%"
+    | 'W' -> w.path
+    | 'T' -> Event.name event
+    | 't' -> string_of_int time
+    | 'x' -> ( match coords with Some (x, _) -> string_of_int x | None -> "??")
+    | 'y' -> ( match coords with Some (_, y) -> string_of_int y | None -> "??")
+    | 'X' -> (
+      match coords with
+      | Some (x, _) -> string_of_int (root_x w 0 + x)
+      | None -> "??")
+    | 'Y' -> (
+      match coords with
+      | Some (_, y) -> string_of_int (root_y w 0 + y)
+      | None -> "??")
+    | 'w' -> ( match dims with Some (dw, _) -> string_of_int dw | None -> "??")
+    | 'h' -> ( match dims with Some (_, dh) -> string_of_int dh | None -> "??")
+    | 'b' -> (
+      match event with
+      | Event.Button_press b | Event.Button_release b ->
+        string_of_int b.Event.button
+      | _ -> "??")
+    | 'K' -> (
+      match event with
+      | Event.Key_press k | Event.Key_release k -> k.Event.keysym
+      | _ -> "??")
+    | 'A' -> (
+      match event with
+      | Event.Key_press k | Event.Key_release k -> (
+        match Event.char_of_keysym k.Event.keysym with
+        | Some c -> String.make 1 c
+        | None -> "")
+      | _ -> "")
+    | 's' -> string_of_int state_mask
+    | c -> "%" ^ String.make 1 c
+  in
+  let buf = Buffer.create (String.length script + 16) in
+  let n = String.length script in
+  let i = ref 0 in
+  while !i < n do
+    if script.[!i] = '%' && !i + 1 < n then begin
+      Buffer.add_string buf (expand script.[!i + 1]);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf script.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* Callbacks (bindings, -command scripts, timers) always run at global
+   scope, as in real Tk — even when the event loop is being pumped from
+   inside a procedure (tkwait). *)
+let eval_callback app ?(context = "command") script =
+  match
+    Tcl.Interp.with_level app.interp 0 (fun () ->
+        Tcl.Interp.eval app.interp script)
+  with
+  | Tcl.Interp.Tcl_error, msg ->
+    app.error_handler (Printf.sprintf "error in %s: %s" context msg)
+  | _ -> ()
+
+(* Find and run the most specific binding matching this event. *)
+let run_bindings app w event ~click_count ~time =
+  let candidates = bindings_for app w.path in
+  let matches b =
+    match b.bseq with
+    | [ p ] -> Bindpattern.matches p event ~click_count
+    | seq ->
+      Bindpattern.is_press event
+      &&
+      let k = List.length seq in
+      let history = w.press_history in
+      List.length history >= k
+      &&
+      let recent = List.filteri (fun i _ -> i < k) history in
+      (* [recent] is newest-first; patterns are oldest-first. *)
+      List.for_all2
+        (fun pattern (ev, cc) -> Bindpattern.matches pattern ev ~click_count:cc)
+        seq (List.rev recent)
+  in
+  let best =
+    List.fold_left
+      (fun best b ->
+        if not (matches b) then best
+        else
+          let score = Bindpattern.specificity b.bseq in
+          match best with
+          | Some (bs, _) when bs >= score -> best
+          | _ -> Some (score, b))
+      None candidates
+  in
+  match best with
+  | None -> ()
+  | Some (_, b) ->
+    let script = percent_substitute b.bscript w event ~time in
+    eval_callback app ~context:(Printf.sprintf "binding for %s" w.path) script
+
+(* ------------------------------------------------------------------ *)
+(* Widget creation / destruction *)
+
+let widget_command w : Tcl.Interp.command =
+ fun _interp words ->
+  if w.destroyed then failf "bad window path name \"%s\"" w.path
+  else
+    match words with
+    | [ _ ] ->
+      failf "wrong # args: should be \"%s option ?arg arg ...?\"" w.path
+    | _ :: "configure" :: rest -> (
+      match rest with
+      | [] -> Tcl.Interp.ok (configure_info w None)
+      | [ switch ] -> Tcl.Interp.ok (configure_info w (Some switch))
+      | pairs ->
+        configure w pairs;
+        Tcl.Interp.ok "")
+    | [ _; "cget"; switch ] -> Tcl.Interp.ok (cget w switch)
+    | _ :: "cget" :: _ -> Tcl.Interp.wrong_args (w.path ^ " cget option")
+    | words -> w.wclass.subcommands w words
+
+let make_widget app ~path ?(data = No_data) wclass ~args =
+  if not (Path.is_valid path) then failf "bad window path name \"%s\"" path;
+  if Hashtbl.mem app.widgets path then
+    failf "window name \"%s\" already exists" path;
+  let parent_win =
+    match Path.parent path with
+    | None -> Server.root app.server (* the main window "." *)
+    | Some parent_path -> (
+      match lookup app parent_path with
+      | Some parent -> parent.win
+      | None -> failf "bad window path name \"%s\"" path)
+  in
+  let win =
+    Server.create_window app.conn ~parent:parent_win ~x:0 ~y:0 ~width:1
+      ~height:1 ~border_width:0
+  in
+  let w =
+    {
+      path;
+      wclass;
+      win;
+      app;
+      config = Hashtbl.create 16;
+      destroyed = false;
+      x = 0;
+      y = 0;
+      width = 1;
+      height = 1;
+      mapped = false;
+      req_width = 1;
+      req_height = 1;
+      geom_mgr = None;
+      redraw_pending = false;
+      data;
+      last_click = None;
+      press_history = [];
+    }
+  in
+  Hashtbl.replace app.widgets path w;
+  Hashtbl.replace app.by_xid win w;
+  (* Initial configuration: command line beats the option database beats
+     class defaults (paper §4). *)
+  let explicit = Hashtbl.create 8 in
+  let rec record = function
+    | switch :: _ :: rest ->
+      Hashtbl.replace explicit (find_spec w switch).switch ();
+      record rest
+    | _ -> ()
+  in
+  (try record args
+   with e ->
+     Hashtbl.remove app.widgets path;
+     Hashtbl.remove app.by_xid win;
+     Server.destroy_window app.conn win;
+     raise e);
+  let chain = name_chain w in
+  List.iter
+    (fun spec ->
+      if not (Hashtbl.mem explicit spec.switch) then
+        match
+          Optiondb.get app.options ~name_chain:chain ~name:spec.db_name
+            ~cls:spec.db_class
+        with
+        | Some v -> ( try set_option w spec v with Tcl.Interp.Tcl_failure _ -> ())
+        | None -> Hashtbl.replace w.config spec.switch spec.default)
+    wclass.specs;
+  (match
+     ( (try
+          configure w args;
+          None
+        with e -> Some e),
+       () )
+   with
+  | Some e, () ->
+    Hashtbl.remove app.widgets path;
+    Hashtbl.remove app.by_xid win;
+    Server.destroy_window app.conn win;
+    raise e
+  | None, () -> ());
+  Tcl.Interp.register app.interp path (widget_command w);
+  w
+
+(* Remove a widget from the application's tables without touching the
+   server (used when the server told us the window is gone). *)
+let forget_widget w =
+  if not w.destroyed then begin
+    w.destroyed <- true;
+    w.wclass.cleanup w;
+    (match w.geom_mgr with
+    | Some mgr -> mgr.gm_lost_slave w
+    | None -> ());
+    w.geom_mgr <- None;
+    Hashtbl.remove w.app.bindings w.path;
+    ignore (Tcl.Interp.delete_command w.app.interp w.path);
+    Hashtbl.remove w.app.widgets w.path;
+    Hashtbl.remove w.app.by_xid w.win;
+    if w.app.focus_path = Some w.path then w.app.focus_path <- None;
+    if w.app.sel.sel_owner_path = Some w.path then begin
+      w.app.sel.sel_owner_path <- None;
+      w.app.sel.sel_provider <- None;
+      w.app.sel.sel_tcl_handler <- None
+    end
+  end
+
+let destroy_hooks : (app -> unit) list ref = ref []
+
+let add_destroy_hook f = destroy_hooks := f :: !destroy_hooks
+
+let unregister_app app =
+  let apps = registry_for app.server in
+  apps := List.filter (fun a -> a != app) !apps;
+  (* Remove our name from the display registry property. *)
+  let root = Server.root app.server in
+  match Server.get_property app.conn root ~prop:(Server.intern_atom app.conn registry_property) with
+  | None -> ()
+  | Some p -> (
+    match Tcl.Tcl_list.parse p.Window.prop_data with
+    | Error _ -> ()
+    | Ok entries ->
+      let keep =
+        List.filter
+          (fun e ->
+            match Tcl.Tcl_list.parse e with
+            | Ok [ name; _ ] -> name <> app.app_name
+            | _ -> true)
+          entries
+      in
+      Server.change_property app.conn root
+        ~prop:(Server.intern_atom app.conn registry_property)
+        ~ptype:Atom.string
+        (Tcl.Tcl_list.format keep))
+
+let destroy_app app =
+  if not app.app_destroyed then begin
+    app.app_destroyed <- true;
+    let paths =
+      Hashtbl.fold (fun path _ acc -> path :: acc) app.widgets []
+      |> List.sort (fun a b -> compare (String.length b) (String.length a))
+    in
+    List.iter
+      (fun path ->
+        match lookup app path with
+        | Some w -> forget_widget w
+        | None -> ())
+      paths;
+    unregister_app app;
+    Server.close app.conn;
+    List.iter (fun hook -> hook app) !destroy_hooks
+  end
+
+let destroy_widget w =
+  if not w.destroyed then
+    if w.path = "." then destroy_app w.app
+    else begin
+      let app = w.app in
+      let win = w.win in
+      let doomed =
+        Hashtbl.fold
+          (fun path widget acc ->
+            if Path.is_ancestor ~ancestor:w.path path then widget :: acc
+            else acc)
+          app.widgets []
+        |> List.sort
+             (fun a b -> compare (String.length b.path) (String.length a.path))
+      in
+      List.iter forget_widget doomed;
+      Server.destroy_window app.conn win
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Event processing *)
+
+let double_click_ms = 500
+
+let set_focus app path =
+  if app.focus_path <> path then begin
+    app.focus_path <- path;
+    (* Also move the server's input focus so keystrokes reach this
+       application even when the pointer is elsewhere (the window manager
+       grants the focus; we are our own WM). FocusIn/FocusOut events come
+       back through the normal event stream. *)
+    match path with
+    | Some p -> (
+      match lookup app p with
+      | Some w when not w.destroyed ->
+        Server.set_input_focus app.conn w.win
+      | Some _ | None -> ())
+    | None -> Server.set_input_focus app.conn Xid.none
+  end
+
+let process_one app (d : Event.delivery) =
+  if List.exists (fun h -> h app d) app.pre_handlers then ()
+  else
+    match Hashtbl.find_opt app.by_xid d.Event.window with
+    | None -> ()
+    | Some w ->
+      (* An active grab confines pointer events to the grab subtree. *)
+      let grabbed_out =
+        match (app.grab_path, d.Event.event) with
+        | ( Some grab,
+            ( Event.Button_press _ | Event.Button_release _ | Event.Motion _
+            | Event.Enter _ | Event.Leave _ ) ) ->
+          not (Path.is_ancestor ~ancestor:grab w.path)
+        | _ -> false
+      in
+      if w.destroyed || grabbed_out then ()
+      else begin
+        (* Structure cache maintenance. *)
+        (match d.Event.event with
+        | Event.Configure_notify c ->
+          w.x <- c.Event.cx;
+          w.y <- c.Event.cy;
+          w.width <- c.Event.cwidth;
+          w.height <- c.Event.cheight;
+          List.iter (fun hook -> hook w) app.configure_hooks
+        | Event.Map_notify -> w.mapped <- true
+        | Event.Unmap_notify -> w.mapped <- false
+        | Event.Expose _ -> schedule_redraw w
+        | Event.Destroy_notify -> forget_widget w
+        | _ -> ());
+        if w.destroyed then ()
+        else begin
+          (* Keyboard focus: keystrokes are redirected to the focus window
+             (paper §3.7). *)
+          let target =
+            match d.Event.event with
+            | Event.Key_press _ | Event.Key_release _ -> (
+              match app.focus_path with
+              | Some fp -> (
+                match lookup app fp with
+                | Some fw when not fw.destroyed -> fw
+                | Some _ | None -> w)
+              | None -> w)
+            | _ -> w
+          in
+          (* Multi-click counting for Double/Triple modifiers. *)
+          let click_count =
+            match d.Event.event with
+            | Event.Button_press b ->
+              let count =
+                match target.last_click with
+                | Some (btn, t0, n)
+                  when btn = b.Event.button
+                       && d.Event.time - t0 <= double_click_ms ->
+                  n + 1
+                | _ -> 1
+              in
+              target.last_click <- Some (b.Event.button, d.Event.time, count);
+              count
+            | _ -> 1
+          in
+          (if Bindpattern.is_press d.Event.event then
+             let entry = (d.Event.event, click_count) in
+             target.press_history <-
+               entry :: List.filteri (fun i _ -> i < 7) target.press_history);
+          target.wclass.handle_event target d.Event.event;
+          if not target.destroyed then
+            run_bindings app target d.Event.event ~click_count
+              ~time:d.Event.time
+        end
+      end
+
+let process_pending app =
+  let count = ref 0 in
+  let rec drain () =
+    match Server.next_event app.conn with
+    | Some d ->
+      incr count;
+      process_one app d;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  !count
+
+let update app =
+  let rec go guard =
+    let n = process_pending app in
+    let timers = Dispatch.run_due_timers app.disp in
+    let idles = Dispatch.run_idle app.disp in
+    if n + timers + idles > 0 && guard > 0 then go (guard - 1)
+  in
+  go 1000
+
+let update_all server = List.iter update (local_apps server)
+
+let mainloop app =
+  while not app.app_destroyed do
+    update app;
+    if not app.app_destroyed then begin
+      let timeout =
+        match Dispatch.next_deadline_ms app.disp with
+        | Some ms -> float_of_int (min ms 50) /. 1000.0
+        | None -> 0.05
+      in
+      let fired = Dispatch.poll_files app.disp ~timeout in
+      if
+        fired = 0
+        && Server.pending app.conn = 0
+        && not (Dispatch.has_work app.disp)
+      then
+        (* Nothing to do: in a real Tk this blocks in select(); here the
+           only other event sources are in-process, so idle briefly. *)
+        ignore (Unix.select [] [] [] 0.001)
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Container (frame-like) class, shared by "." and the frame widget *)
+
+let container_specs =
+  [
+    spec ~switch:"-background" ~db:"background" ~cls:"Background"
+      ~default:"#cccccc" Ot_color;
+    spec ~switch:"-bg" ~db:"background" ~cls:"Background" ~default:"#cccccc"
+      Ot_color;
+    spec ~switch:"-borderwidth" ~db:"borderWidth" ~cls:"BorderWidth"
+      ~default:"0" Ot_pixels;
+    spec ~switch:"-relief" ~db:"relief" ~cls:"Relief" ~default:"flat"
+      Ot_relief;
+    spec ~switch:"-width" ~db:"width" ~cls:"Width" ~default:"0" Ot_pixels;
+    spec ~switch:"-height" ~db:"height" ~cls:"Height" ~default:"0" Ot_pixels;
+    spec ~switch:"-geometry" ~db:"geometry" ~cls:"Geometry" ~default:""
+      Ot_string;
+    spec ~switch:"-cursor" ~db:"cursor" ~cls:"Cursor" ~default:"" Ot_cursor;
+  ]
+
+(* -bg is an alias for -background: keep them coherent. *)
+let sync_bg_aliases w =
+  match
+    (Hashtbl.find_opt w.config "-bg", Hashtbl.find_opt w.config "-background")
+  with
+  | Some bg, Some background when bg <> background ->
+    (* The most recently configured one wins; we can't tell which that
+       was, so prefer -bg only if -background still has its default. *)
+    let default =
+      (List.find (fun s -> s.switch = "-background") w.wclass.specs).default
+    in
+    if background = default then Hashtbl.replace w.config "-background" bg
+    else Hashtbl.replace w.config "-bg" background
+  | Some bg, None -> Hashtbl.replace w.config "-background" bg
+  | _ -> ()
+
+let parse_geometry_spec s =
+  match String.index_opt s 'x' with
+  | Some i -> (
+    let ws = String.sub s 0 i in
+    let hs = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt ws, int_of_string_opt hs) with
+    | Some w, Some h -> Some (w, h)
+    | _ -> None)
+  | None -> None
+
+let container_configure w =
+  sync_bg_aliases w;
+  Server.set_window_background w.app.conn w.win (get_color w "-background");
+  let bw = get_pixels w "-borderwidth" in
+  let width = get_pixels w "-width" and height = get_pixels w "-height" in
+  (match parse_geometry_spec (get_string w "-geometry") with
+  | Some (gw, gh) -> request_size w ~width:gw ~height:gh
+  | None ->
+    if width > 0 || height > 0 then
+      request_size w
+        ~width:(if width > 0 then width else w.req_width)
+        ~height:(if height > 0 then height else w.req_height));
+  ignore bw;
+  schedule_redraw w
+
+let container_display w =
+  let bw = get_pixels w "-borderwidth" in
+  if bw > 0 then
+    match get_relief w "-relief" with
+    | Flat -> ()
+    | relief ->
+      Server.draw_relief w.app.conn w.win
+        (Geom.rect ~x:0 ~y:0 ~width:w.width ~height:w.height)
+        ~raised:(relief = Raised) ~width:bw
+
+let container_class ~name =
+  let cls = make_class ~name ~specs:container_specs () in
+  cls.configure_hook <- container_configure;
+  cls.display <- container_display;
+  cls
+
+(* ------------------------------------------------------------------ *)
+(* Application creation *)
+
+let read_registry app =
+  let root = Server.root app.server in
+  let prop = Server.intern_atom app.conn registry_property in
+  match Server.get_property app.conn root ~prop with
+  | None -> []
+  | Some p -> (
+    match Tcl.Tcl_list.parse p.Window.prop_data with
+    | Error _ -> []
+    | Ok entries ->
+      List.filter_map
+        (fun e ->
+          match Tcl.Tcl_list.parse e with
+          | Ok [ name; xid ] ->
+            Option.map (fun id -> (name, id)) (int_of_string_opt xid)
+          | _ -> None)
+        entries)
+
+let write_registry app entries =
+  let root = Server.root app.server in
+  let prop = Server.intern_atom app.conn registry_property in
+  Server.change_property app.conn root ~prop ~ptype:Atom.string
+    (Tcl.Tcl_list.format
+       (List.map
+          (fun (name, xid) ->
+            Tcl.Tcl_list.format [ name; string_of_int xid ])
+          entries))
+
+let unique_name taken base =
+  if not (List.mem base taken) then base
+  else
+    let rec try_n n =
+      let candidate = Printf.sprintf "%s #%d" base n in
+      if List.mem candidate taken then try_n (n + 1) else candidate
+    in
+    try_n 2
+
+let create_app ?(app_class = "Tk") ~server ~name () =
+  let conn = Server.connect server ~name in
+  let interp = Tcl.Builtins.new_interp () in
+  let comm_win =
+    Server.create_window conn ~parent:(Server.root server) ~x:(-10) ~y:(-10)
+      ~width:1 ~height:1 ~border_width:0
+  in
+  let app =
+    {
+      app_name = name;
+      app_class;
+      interp;
+      conn;
+      server;
+      widgets = Hashtbl.create 32;
+      by_xid = Hashtbl.create 32;
+      cache = Rescache.create conn;
+      options = Optiondb.create ();
+      bindings = Hashtbl.create 32;
+      disp = Dispatch.create ();
+      focus_path = None;
+      comm_win;
+      send_serial = 0;
+      title = name;
+      app_destroyed = false;
+      error_handler =
+        (fun msg -> prerr_endline ("tk background error: " ^ msg));
+      configure_hooks = [];
+      pre_handlers = [];
+      grab_path = None;
+      sel =
+        {
+          sel_owner_path = None;
+          sel_provider = None;
+          sel_tcl_handler = None;
+          sel_pending = None;
+        };
+    }
+  in
+  (* Register a unique application name on the display (paper §6). *)
+  let registry = read_registry app in
+  let name = unique_name (List.map fst registry) name in
+  app.app_name <- name;
+  write_registry app (registry @ [ (name, comm_win) ]);
+  let apps = registry_for server in
+  apps := !apps @ [ app ];
+  (* Background errors (bindings, timers) go to a user-definable Tcl
+     procedure named bgerror when one exists, like in Tk. *)
+  app.error_handler <-
+    (fun msg ->
+      if Tcl.Interp.command_exists app.interp "bgerror" then
+        match Tcl.Interp.eval_words app.interp [ "bgerror"; msg ] with
+        | Tcl.Interp.Tcl_error, m ->
+          prerr_endline ("tk: error in bgerror: " ^ m)
+        | _ -> ()
+      else prerr_endline ("tk background error: " ^ msg));
+  (* The main window. Our simulated window manager cascades the top-level
+     windows of successive applications so they don't cover each other. *)
+  let main =
+    make_widget app ~path:"." (container_class ~name:app_class) ~args:[]
+  in
+  let idx = List.length !apps - 1 in
+  let root_w = (Server.root_window server).Window.width in
+  let x = idx * 340 mod max 340 root_w
+  and y = idx * 340 / max 340 root_w * 300 in
+  move_resize main ~x ~y ~width:200 ~height:200;
+  request_size main ~width:200 ~height:200;
+  map_widget main;
+  app

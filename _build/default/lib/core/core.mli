@@ -1,0 +1,293 @@
+(** The Tk intrinsics core: applications, widgets, the widget framework
+    (classes, configuration options, widget commands), the event
+    dispatcher, event bindings with %-substitution, the structure cache and
+    geometry-management plumbing (paper §3).
+
+    An {!app} bundles one Tcl interpreter with one X connection and a tree
+    of widgets named by path names; creating a widget creates both an X
+    window and a Tcl {e widget command} with the same name as the window
+    path (paper §4). *)
+
+open Xsim
+
+(** {1 Widget configuration options} *)
+
+type option_type =
+  | Ot_string
+  | Ot_int
+  | Ot_pixels  (** accepts 3, 3.5c, 2m, 1i, 10p *)
+  | Ot_color
+  | Ot_font
+  | Ot_cursor
+  | Ot_bitmap
+  | Ot_relief  (** raised | sunken | flat *)
+  | Ot_boolean
+  | Ot_anchor  (** n ne e se s sw w nw center *)
+
+type spec = {
+  switch : string;  (** command-line switch, e.g. ["-background"] *)
+  db_name : string;  (** option database name, e.g. ["background"] *)
+  db_class : string;  (** option database class, e.g. ["Background"] *)
+  default : string;
+  otype : option_type;
+}
+
+val spec :
+  switch:string -> db:string -> cls:string -> default:string -> option_type -> spec
+
+type relief = Raised | Sunken | Flat
+
+type anchor = N | NE | E | SE | S | SW | W | NW | Center
+
+val parse_geometry_spec : string -> (int * int) option
+(** Parse a ["COLSxROWS"] / ["WIDTHxHEIGHT"] geometry option value. *)
+
+val parse_pixels : string -> int option
+(** Screen distance: bare numbers are pixels; suffix [c]entimetres,
+    [m]illimetres, [i]nches, [p]oints (at the simulated 75 dpi). *)
+
+(** {1 Widgets and applications} *)
+
+type wdata = ..
+(** Widget-private state; each widget class adds its own constructor. *)
+
+type wdata += No_data
+
+type widget = {
+  path : string;
+  wclass : wclass;
+  win : Xid.t;
+  app : app;
+  config : (string, string) Hashtbl.t;  (** switch -> current value *)
+  mutable destroyed : bool;
+  (* Structure cache (paper §3.3): geometry mirrored from the server so
+     widgets and winfo don't need round trips. *)
+  mutable x : int;
+  mutable y : int;
+  mutable width : int;
+  mutable height : int;
+  mutable mapped : bool;
+  mutable req_width : int;
+  mutable req_height : int;
+  mutable geom_mgr : geom_mgr option;
+  mutable redraw_pending : bool;
+  mutable data : wdata;
+  mutable last_click : (int * int * int) option; (* button, time, count *)
+  mutable press_history : (Event.t * int) list; (* newest first *)
+}
+
+and wclass = {
+  cname : string;
+  specs : spec list;
+  mutable configure_hook : widget -> unit;
+      (** called after any option change and at creation *)
+  mutable display : widget -> unit;  (** repaint into the X window *)
+  mutable handle_event : widget -> Event.t -> unit;
+      (** the widget's built-in ("C code") event behaviour *)
+  mutable subcommands : widget -> string list -> Tcl.Interp.result;
+      (** widget-command options beyond configure/cget; receives the full
+          word list *)
+  mutable cleanup : widget -> unit;
+}
+
+and geom_mgr = {
+  gm_name : string;
+  gm_slave_request : widget -> unit;
+      (** a managed window changed its requested size *)
+  gm_lost_slave : widget -> unit;
+}
+
+and app = {
+  mutable app_name : string;  (** unique on the display; used by [send] *)
+  app_class : string;
+  interp : Tcl.Interp.t;
+  conn : Server.connection;
+  server : Server.t;
+  widgets : (string, widget) Hashtbl.t;
+  by_xid : (Xid.t, widget) Hashtbl.t;
+  cache : Rescache.t;
+  options : Optiondb.t;
+  bindings : (string, binding list ref) Hashtbl.t;
+  disp : Dispatch.t;
+  mutable focus_path : string option;
+  comm_win : Xid.t;  (** hidden window used by the [send] protocol *)
+  mutable send_serial : int;
+  mutable title : string;
+  mutable app_destroyed : bool;
+  mutable error_handler : string -> unit;
+      (** reports errors from event bindings and timers *)
+  mutable configure_hooks : (widget -> unit) list;
+      (** geometry managers re-layout when masters resize *)
+  mutable pre_handlers : (app -> Event.delivery -> bool) list;
+      (** protocol modules (send, selection) intercept events; [true] =
+          consumed *)
+  mutable grab_path : string option;
+      (** while set, pointer events outside this subtree are discarded
+          (the [grab] command — modal dialogs and menus) *)
+  sel : sel_state;
+}
+
+and binding = {
+  bseq : Bindpattern.pattern list;
+  bkey : string;
+  bscript : string;
+}
+
+and sel_state = {
+  mutable sel_owner_path : string option;
+  mutable sel_provider : (unit -> string) option;
+  mutable sel_tcl_handler : string option;
+  mutable sel_pending : string option option;
+      (** in-flight [selection get]: None = waiting *)
+}
+
+(** {1 Application lifecycle} *)
+
+val create_app :
+  ?app_class:string -> server:Server.t -> name:string -> unit -> app
+(** Connect to the display, create the main window ["."], the send
+    communication window, a fresh Tcl interpreter with the standard
+    command set, and register the application name (made unique if taken)
+    in the display registry. *)
+
+val destroy_app : app -> unit
+
+val add_destroy_hook : (app -> unit) -> unit
+(** Run when any application is destroyed; modules keeping per-app side
+    tables (packer, placer, selection) use this to drop their state. *)
+
+val local_apps : Server.t -> app list
+(** All in-process applications on a display (the simulation's analogue of
+    "other clients of the X server"); used by [send] and the selection to
+    pump their event queues. *)
+
+val app_of_comm : Server.t -> Xid.t -> app option
+(** Find a local application by its communication window. *)
+
+(** {1 Widgets} *)
+
+val main_widget : app -> widget
+
+val lookup : app -> string -> widget option
+
+val lookup_exn : app -> string -> widget
+(** @raise Tcl.Interp.Tcl_failure "bad window path name" *)
+
+val make_widget :
+  app -> path:string -> ?data:wdata -> wclass -> args:string list -> widget
+(** Create the window, install the widget-private [data] (before the
+    class's configure hook first runs), apply initial configuration
+    (command-line args, then option database, then class defaults) and
+    register the widget command.
+    @raise Tcl.Interp.Tcl_failure on bad paths or options. *)
+
+val destroy_widget : widget -> unit
+(** Destroy the widget and all its descendants (deepest first), delete
+    their widget commands and server windows. Destroying ["."] destroys
+    the application. *)
+
+val children : widget -> widget list
+(** Direct children, by path structure. *)
+
+val make_class :
+  name:string ->
+  specs:spec list ->
+  unit ->
+  wclass
+(** A class skeleton with no-op behaviour; callers then set the mutable
+    fields they need. *)
+
+val container_specs : spec list
+(** The frame option set, shared by ["."] and the frame widget. *)
+
+val container_class : name:string -> wclass
+(** A frame-like class: fills its background, draws an optional relief. *)
+
+(** {1 Configuration} *)
+
+val configure : widget -> string list -> unit
+(** Apply [-switch value] pairs: validates types (colors resolve through
+    the cache, pixel distances parse, …) and runs the class configure
+    hook. @raise Tcl.Interp.Tcl_failure on unknown switches/bad values. *)
+
+val configure_info : widget -> string option -> string
+(** The [configure] query forms: all specs, or one. *)
+
+val cget : widget -> string -> string
+(** Current (textual) value of an option. *)
+
+val find_spec : widget -> string -> spec
+(** Resolve a possibly-abbreviated switch. @raise Tcl.Interp.Tcl_failure *)
+
+val get_string : widget -> string -> string
+val get_int : widget -> string -> int
+val get_pixels : widget -> string -> int
+val get_boolean : widget -> string -> bool
+val get_relief : widget -> string -> relief
+val get_anchor : widget -> string -> anchor
+val get_color : widget -> string -> Color.t
+val get_font : widget -> string -> Font.t
+
+val widget_gc : widget -> fg:string -> ?font:string -> unit -> Gcontext.t
+(** A cached GC for drawing, with [fg]/[font] given as option switches
+    (e.g. [~fg:"-foreground"]) or literal names. *)
+
+(** {1 Geometry plumbing} *)
+
+val request_size : widget -> width:int -> height:int -> unit
+(** A widget's preferred size (paper §3.4): forwarded to its geometry
+    manager; applied directly when the widget is the main window. *)
+
+val move_resize : widget -> x:int -> y:int -> width:int -> height:int -> unit
+(** Used by geometry managers to place a slave. Updates the structure
+    cache immediately. *)
+
+val map_widget : widget -> unit
+val unmap_widget : widget -> unit
+
+val schedule_redraw : widget -> unit
+(** Coalesced: the class display procedure runs from the idle queue. *)
+
+(** {1 Events and bindings} *)
+
+val bind_widget : app -> path:string -> sequence:string -> script:string -> unit
+(** Create/replace/delete (empty script) a binding.
+    @raise Tcl.Interp.Tcl_failure on pattern syntax errors. *)
+
+val binding_script : app -> path:string -> sequence:string -> string option
+
+val bound_sequences : app -> path:string -> string list
+
+val percent_substitute : string -> widget -> Event.t -> time:int -> string
+(** Expand Figure 7's %-sequences in a binding script. *)
+
+val process_pending : app -> int
+(** Drain the X event queue: structure-cache updates, class handlers,
+    binding execution, focus redirection. Returns events processed. *)
+
+val update : app -> unit
+(** [process_pending] + due timers + idle callbacks (repeated until
+    quiescent) — the Tcl [update] command. *)
+
+val update_all : Server.t -> unit
+(** [update] every local app on the display (lets cross-application
+    protocols make progress deterministically in tests). *)
+
+val mainloop : app -> unit
+(** Loop until the application is destroyed: X events, timers, file
+    handlers, idle callbacks. *)
+
+val eval_callback : app -> ?context:string -> string -> unit
+(** Evaluate a Tcl script triggered by an event/timer; errors go to
+    [error_handler]. *)
+
+val set_focus : app -> string option -> unit
+(** Tk-level focus (paper §3.7): keystrokes anywhere in the application are
+    redirected to this widget. *)
+
+val registry_property : string
+(** Name of the root-window property that registers application names
+    (paper §6). *)
+
+val read_registry : app -> (string * Xid.t) list
+(** Parse the display's application registry. *)

@@ -1,0 +1,86 @@
+type timer_id = int
+
+type timer = { tid : timer_id; deadline : float; callback : unit -> unit }
+
+type t = {
+  mutable clock : unit -> float;
+  mutable timers : timer list; (* sorted by deadline *)
+  mutable next_id : int;
+  mutable idle : (unit -> unit) list; (* reversed queue *)
+  mutable files : (Unix.file_descr * (unit -> unit)) list;
+}
+
+let create ?clock () =
+  {
+    clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    timers = [];
+    next_id = 1;
+    idle = [];
+    files = [];
+  }
+
+let set_clock t clock = t.clock <- clock
+
+let now_ms t = int_of_float (t.clock () *. 1000.0)
+
+let after t ~ms callback =
+  let tid = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let deadline = t.clock () +. (float_of_int ms /. 1000.0) in
+  let timer = { tid; deadline; callback } in
+  t.timers <-
+    List.stable_sort
+      (fun a b -> compare a.deadline b.deadline)
+      (timer :: t.timers);
+  tid
+
+let cancel t tid =
+  let before = List.length t.timers in
+  t.timers <- List.filter (fun timer -> timer.tid <> tid) t.timers;
+  List.length t.timers < before
+
+let when_idle t callback = t.idle <- callback :: t.idle
+
+let add_file_handler t fd callback = t.files <- (fd, callback) :: t.files
+
+let remove_file_handler t fd =
+  t.files <- List.filter (fun (f, _) -> f <> fd) t.files
+
+let run_due_timers t =
+  let now = t.clock () in
+  let due, remaining =
+    List.partition (fun timer -> timer.deadline <= now) t.timers
+  in
+  t.timers <- remaining;
+  List.iter (fun timer -> timer.callback ()) due;
+  List.length due
+
+let run_idle t =
+  (* Snapshot: callbacks scheduled while running go to the next sweep. *)
+  let callbacks = List.rev t.idle in
+  t.idle <- [];
+  List.iter (fun f -> f ()) callbacks;
+  List.length callbacks
+
+let poll_files t ~timeout =
+  if t.files = [] then 0
+  else
+    let fds = List.map fst t.files in
+    match Unix.select fds [] [] timeout with
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          match List.assoc_opt fd t.files with
+          | Some callback -> callback ()
+          | None -> ())
+        readable;
+      List.length readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+
+let next_deadline_ms t =
+  match t.timers with
+  | [] -> None
+  | timer :: _ ->
+    Some (max 0 (int_of_float ((timer.deadline -. t.clock ()) *. 1000.0)))
+
+let has_work t = t.timers <> [] || t.idle <> []

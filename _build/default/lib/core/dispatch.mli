@@ -1,0 +1,49 @@
+(** Non-X event sources of the Tk dispatcher (paper §3.2): timer events,
+    when-idle events and file events. X events live in the server's
+    per-connection queues; the application's [update]/[mainloop] drains
+    both.
+
+    The clock is pluggable so tests can run timers deterministically. *)
+
+type t
+
+type timer_id = int
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] returns seconds (default: wall clock). *)
+
+val set_clock : t -> (unit -> float) -> unit
+
+val now_ms : t -> int
+
+val after : t -> ms:int -> (unit -> unit) -> timer_id
+(** Schedule a one-shot timer. *)
+
+val cancel : t -> timer_id -> bool
+
+val when_idle : t -> (unit -> unit) -> unit
+(** Run when all other pending events have been processed. A callback
+    scheduled from inside an idle callback runs in the next idle sweep,
+    not the current one. *)
+
+val add_file_handler : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Invoke the callback when the descriptor becomes readable (checked by
+    {!poll_files}). *)
+
+val remove_file_handler : t -> Unix.file_descr -> unit
+
+val run_due_timers : t -> int
+(** Fire every timer whose deadline has passed; returns how many fired. *)
+
+val run_idle : t -> int
+(** Run the currently queued idle callbacks; returns how many ran. *)
+
+val poll_files : t -> timeout:float -> int
+(** Select on registered descriptors for at most [timeout] seconds,
+    invoking handlers for the readable ones; returns how many fired. *)
+
+val next_deadline_ms : t -> int option
+(** Milliseconds until the earliest timer, if any (0 when overdue). *)
+
+val has_work : t -> bool
+(** Are there timers or idle callbacks outstanding? *)

@@ -1,0 +1,4 @@
+let create ?app_class ~server ~name () =
+  let app = Core.create_app ?app_class ~server ~name () in
+  Tkcmd.install app;
+  app

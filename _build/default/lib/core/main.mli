@@ -1,0 +1,9 @@
+(** Convenience entry point: create a fully wired Tk application — server
+    connection, Tcl interpreter with the built-in command set, the Tk
+    intrinsics commands, and the main window ["."]. The widget set is
+    installed separately ([Tk_widgets.install]) so the intrinsics stay
+    independent of any particular widget library, as in the paper. *)
+
+val create :
+  ?app_class:string -> server:Xsim.Server.t -> name:string -> unit -> Core.app
+(** [create ~server ~name ()] = {!Core.create_app} + {!Tkcmd.install}. *)

@@ -1,0 +1,127 @@
+type component = Name_or_class of string | Star
+
+type entry = {
+  components : component list; (* including the final option component *)
+  value : string;
+  priority : int;
+  serial : int; (* later entries win ties *)
+}
+
+type t = { mutable entries : entry list; mutable next_serial : int }
+
+let create () = { entries = []; next_serial = 0 }
+
+let clear t = t.entries <- []
+
+let size t = List.length t.entries
+
+(* Parse "*Button.background" into components. A '*' both separates and
+   matches any number of levels. *)
+let parse_pattern pattern =
+  let n = String.length pattern in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_name () =
+    if Buffer.length buf > 0 then begin
+      out := Name_or_class (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    match pattern.[i] with
+    | '.' -> flush_name ()
+    | '*' ->
+      flush_name ();
+      (match !out with Star :: _ -> () | _ -> out := Star :: !out)
+    | c -> Buffer.add_char buf c
+  done;
+  flush_name ();
+  List.rev !out
+
+let add t ?(priority = 60) ~pattern value =
+  let components = parse_pattern pattern in
+  if components <> [] then begin
+    t.entries <-
+      { components; value; priority; serial = t.next_serial } :: t.entries;
+    t.next_serial <- t.next_serial + 1
+  end
+
+(* Match a pattern against the full key: the (name, class) pairs of the
+   window chain plus the final (option-name, option-class) pair. Returns a
+   specificity score, higher = more specific; None = no match.
+
+   Scoring: per level, a name match scores 2 and a class match 1, weighted
+   so that earlier levels dominate later ones; levels consumed by a Star
+   score 0. *)
+let match_score components key =
+  let weight depth = 1 lsl (2 * max 0 (20 - depth)) in
+  let rec go comps key depth =
+    match (comps, key) with
+    | [], [] -> Some 0
+    | [], _ :: _ -> None
+    | Star :: rest, _ ->
+      (* Try consuming 0..n levels. Take the best score. *)
+      let rec try_skip key best =
+        let attempt = go rest key depth in
+        let best =
+          match (attempt, best) with
+          | Some s, Some b -> Some (max s b)
+          | Some s, None -> Some s
+          | None, b -> b
+        in
+        match key with
+        | [] -> best
+        | _ :: tl -> try_skip tl best
+      in
+      try_skip key None
+    | Name_or_class c :: rest, (name, cls) :: tl ->
+      if c = name then
+        Option.map (fun s -> s + (2 * weight depth)) (go rest tl (depth + 1))
+      else if c = cls then
+        Option.map (fun s -> s + weight depth) (go rest tl (depth + 1))
+      else None
+    | Name_or_class _ :: _, [] -> None
+  in
+  go components key 0
+
+let get t ~name_chain ~name ~cls =
+  let key = name_chain @ [ (name, cls) ] in
+  let best = ref None in
+  List.iter
+    (fun e ->
+      match match_score e.components key with
+      | None -> ()
+      | Some score ->
+        let candidate = (e.priority, score, e.serial, e.value) in
+        (match !best with
+        | None -> best := Some candidate
+        | Some (bp, bs, bserial, _) ->
+          if
+            e.priority > bp
+            || (e.priority = bp && score > bs)
+            || (e.priority = bp && score = bs && e.serial > bserial)
+          then best := Some candidate))
+    t.entries;
+  Option.map (fun (_, _, _, v) -> v) !best
+
+let load_string t ?priority text =
+  let count = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '!' || line.[0] = '#' then ()
+      else
+        match String.index_opt line ':' with
+        | None ->
+          if !error = None then
+            error := Some (Printf.sprintf "missing colon on line %d" (lineno + 1))
+        | Some i ->
+          let pattern = String.trim (String.sub line 0 i) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          add t ?priority ~pattern value;
+          incr count)
+    (String.split_on_char '\n' text);
+  match !error with Some msg -> Error msg | None -> Ok !count

@@ -1,0 +1,40 @@
+(** The option database (paper §3.5) — Tk's version of the Xt resource
+    manager. Users state preferences as patterns like
+
+    {v *Button.background: red v}
+
+    and widgets query the database when they configure themselves.
+
+    A pattern is a sequence of components separated by [.] (tight binding:
+    exactly one level) or [*] (loose binding: any number of levels). Each
+    component matches a window's name or its class; the final component is
+    the option name or option class. More specific patterns win: name
+    matches beat class matches beat [*], with earlier (outer) components
+    weighing most, and explicit priority levels override everything. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> ?priority:int -> pattern:string -> string -> unit
+(** [add db ~pattern value] — priority 0–100, default 60 (Tk's
+    "interactive" level). *)
+
+val get :
+  t ->
+  name_chain:(string * string) list ->
+  name:string ->
+  cls:string ->
+  string option
+(** [get db ~name_chain ~name ~cls] looks up option [name] (with option
+    class [cls]) for the window whose (window-name, window-class) pairs
+    from the application root down are [name_chain] — e.g.
+    [\[("browse", "Wish"); ("list", "Listbox")\]]. *)
+
+val clear : t -> unit
+
+val load_string : t -> ?priority:int -> string -> (int, string) result
+(** Parse .Xdefaults-style text ([pattern: value] lines, [!] or [#]
+    comments); returns the number of entries added. *)
+
+val size : t -> int

@@ -1,0 +1,51 @@
+(** The packer geometry manager (paper §3.4, Figure 8).
+
+    Slaves are arranged around the sides of a cavity: each window is given
+    a parcel along its chosen side ([top]/[bottom]/[left]/[right]), may be
+    stretched to [fill] the parcel, and may [expand] to absorb leftover
+    cavity space. The packer also sets the master's requested size to what
+    the slaves need (geometry propagation), so frames shrink-wrap.
+
+    The Tcl command supports the 1991 syntax used in the paper —
+
+    {v pack append . .scroll {right filly} .list {left expand fill} v}
+
+    — plus [pack unpack], [pack info] and [pack slaves]. *)
+
+type side = Top | Bottom | Left | Right
+
+type opts = {
+  side : side;
+  fill_x : bool;
+  fill_y : bool;
+  expand : bool;
+  padx : int;
+  pady : int;
+  anchor : Core.anchor;
+      (** position within the parcel — the old syntax's [frame] option *)
+}
+
+val default_opts : opts
+
+val parse_opts : string -> opts
+(** Parse an old-style option list ([{left expand fill padx 5}]).
+    @raise Tcl.Interp.Tcl_failure on unknown options. *)
+
+val append : master:Core.widget -> (Core.widget * opts) list -> unit
+(** Append slaves to the master's packing list and (re)arrange. Each slave
+    must be a child of the master. *)
+
+val unpack : Core.widget -> unit
+(** Remove a window from its master's packing list and unmap it. *)
+
+val slaves : Core.widget -> Core.widget list
+(** The packing list of a master, in packing order. *)
+
+val info : Core.widget -> string
+(** Tcl-readable description of a master's packing list. *)
+
+val arrange : Core.widget -> unit
+(** Recompute the layout for a master now (normally automatic). *)
+
+val install : Core.app -> unit
+(** Register the [pack] Tcl command and the re-layout configure hook. *)

@@ -1,0 +1,45 @@
+let components path =
+  if path = "." then []
+  else
+    match String.split_on_char '.' path with
+    | "" :: rest -> rest
+    | rest -> rest
+
+let is_valid path =
+  path = "."
+  || String.length path > 1
+     && path.[0] = '.'
+     && List.for_all
+          (fun comp ->
+            comp <> ""
+            && (not (Char.uppercase_ascii comp.[0] = comp.[0]
+                     && Char.lowercase_ascii comp.[0] <> comp.[0])))
+          (components path)
+
+let parent path =
+  if path = "." then None
+  else
+    match String.rindex_opt path '.' with
+    | Some 0 -> Some "."
+    | Some i -> Some (String.sub path 0 i)
+    | None -> None
+
+let basename path =
+  if path = "." then "."
+  else
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+
+let join parent name =
+  if parent = "." then "." ^ name else parent ^ "." ^ name
+
+let is_ancestor ~ancestor path =
+  ancestor = path
+  || ancestor = "."
+     && String.length path > 1
+  ||
+  let pl = String.length ancestor in
+  String.length path > pl
+  && String.sub path 0 pl = ancestor
+  && path.[pl] = '.'

@@ -1,0 +1,13 @@
+(** The placer: a second, trivially simple geometry manager — fixed or
+    fractional placement inside the master. Having two managers exercises
+    the paper's claim that widgets are independent of any particular
+    geometry manager (§3.4: "widgets can be used with a variety of
+    geometry managers").
+
+    {v
+      place .w -x 10 -y 20 ?-width W? ?-height H?
+      place .w -relx 0.5 -rely 0.5            (fractions of the master)
+      place forget .w
+    v} *)
+
+val install : Core.app -> unit

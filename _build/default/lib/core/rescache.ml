@@ -1,0 +1,96 @@
+open Xsim
+
+type t = {
+  conn : Server.connection;
+  colors : (string, Color.t) Hashtbl.t;
+  fonts : (string, Font.t) Hashtbl.t;
+  cursors : (string, Cursor.t) Hashtbl.t;
+  bitmaps : (string, Bitmap.t) Hashtbl.t;
+  gcs : (string, Gcontext.t) Hashtbl.t;
+  color_names : (string, string) Hashtbl.t; (* hex -> first name used *)
+  mutable enabled : bool;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create conn =
+  {
+    conn;
+    colors = Hashtbl.create 16;
+    fonts = Hashtbl.create 8;
+    cursors = Hashtbl.create 8;
+    bitmaps = Hashtbl.create 8;
+    gcs = Hashtbl.create 16;
+    color_names = Hashtbl.create 16;
+    enabled = true;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let set_enabled t flag = t.enabled <- flag
+
+let normalise name = String.lowercase_ascii (String.trim name)
+
+(* Generic cached lookup: [fetch] performs the server request. *)
+let lookup t table fetch name =
+  let key = normalise name in
+  if not t.enabled then begin
+    t.miss_count <- t.miss_count + 1;
+    fetch t.conn name
+  end
+  else
+    match Hashtbl.find_opt table key with
+    | Some v ->
+      t.hit_count <- t.hit_count + 1;
+      Some v
+    | None -> (
+      t.miss_count <- t.miss_count + 1;
+      match fetch t.conn name with
+      | Some v ->
+        Hashtbl.replace table key v;
+        Some v
+      | None -> None)
+
+let color t name =
+  let result = lookup t t.colors Server.alloc_color name in
+  (match result with
+  | Some c ->
+    let hex = Color.to_hex c in
+    if not (Hashtbl.mem t.color_names hex) then
+      Hashtbl.replace t.color_names hex name
+  | None -> ());
+  result
+
+let font t name = lookup t t.fonts Server.open_font name
+let cursor t name = lookup t t.cursors Server.alloc_cursor name
+let bitmap t name = lookup t t.bitmaps Server.alloc_bitmap name
+
+let color_name t c = Hashtbl.find_opt t.color_names (Color.to_hex c)
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_counters t =
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let gc t ?(foreground = "black") ?(background = "white") ?font:font_name () =
+  let key =
+    Printf.sprintf "%s/%s/%s" (normalise foreground) (normalise background)
+      (match font_name with Some f -> normalise f | None -> "-")
+  in
+  match if t.enabled then Hashtbl.find_opt t.gcs key else None with
+  | Some gc ->
+    t.hit_count <- t.hit_count + 1;
+    gc
+  | None ->
+    let fg = Option.value (color t foreground) ~default:Color.black in
+    let bg = Option.value (color t background) ~default:Color.white in
+    let fnt =
+      match font_name with
+      | Some name -> font t name
+      | None -> font t Font.default_name
+    in
+    let gc = Server.create_gc t.conn ~foreground:fg ~background:bg ?font:fnt () in
+    if t.enabled then Hashtbl.replace t.gcs key gc;
+    gc

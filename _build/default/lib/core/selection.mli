@@ -1,0 +1,26 @@
+(** Tk's selection support (paper §3.6): widgets register a selection
+    handler and claim the PRIMARY selection; Tk runs the ICCCM machinery —
+    notifying the previous owner, answering SelectionRequest events from
+    the handler, and retrieving the selection from whoever owns it
+    (including another application on the display).
+
+    Handlers can be OCaml functions (the paper's "C procedures") or Tcl
+    scripts ([selection handle]). *)
+
+val install : Core.app -> unit
+(** Register the [selection] Tcl command and the event interceptors. *)
+
+val own : Core.widget -> provider:(unit -> string) -> unit
+(** Claim PRIMARY for a widget; [provider] returns the selected text when
+    another client asks. The previous owner is notified via
+    SelectionClear. *)
+
+val disown : Core.app -> unit
+(** Give up the selection voluntarily. *)
+
+val owner_path : Core.app -> string option
+(** The owning widget within this application, if any. *)
+
+val get : Core.app -> string
+(** Retrieve the PRIMARY selection as a string, wherever its owner is.
+    @raise Tcl.Interp.Tcl_failure when nobody owns the selection. *)

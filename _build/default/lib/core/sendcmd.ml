@@ -1,0 +1,101 @@
+open Xsim
+
+let script_property = "TK_SEND_SCRIPT"
+let result_property_prefix = "TK_SEND_RESULT_"
+
+let interps app = List.map fst (Core.read_registry app)
+
+(* Handle one incoming send request: read and delete the script property,
+   evaluate, write the result property on the sender's window. *)
+let handle_incoming app =
+  let prop = Server.intern_atom app.Core.conn script_property in
+  match Server.get_property app.Core.conn app.Core.comm_win ~prop with
+  | None -> ()
+  | Some p -> (
+    Server.delete_property app.Core.conn app.Core.comm_win ~prop;
+    match Tcl.Tcl_list.parse p.Window.prop_data with
+    | Ok [ serial; sender; script ] -> (
+      match int_of_string_opt sender with
+      | None -> ()
+      | Some sender_win ->
+        (* Remote scripts execute at global scope, whatever the receiving
+           application happened to be doing. *)
+        let status, value =
+          Tcl.Interp.with_level app.Core.interp 0 (fun () ->
+              Tcl.Interp.eval app.Core.interp script)
+        in
+        let code =
+          match status with Tcl.Interp.Tcl_error -> "1" | _ -> "0"
+        in
+        let result_prop =
+          Server.intern_atom app.Core.conn (result_property_prefix ^ serial)
+        in
+        Server.change_property app.Core.conn sender_win ~prop:result_prop
+          ~ptype:Atom.string
+          (Tcl.Tcl_list.format [ code; value ]))
+    | Ok _ | Error _ -> ())
+
+let pre_handler app (d : Event.delivery) =
+  if d.Event.window <> app.Core.comm_win then false
+  else
+    match d.Event.event with
+    | Event.Property_notify { prop_deleted = false; prop_atom } ->
+      (match Server.atom_name app.Core.conn prop_atom with
+      | Some name when name = script_property -> handle_incoming app
+      | Some _ | None -> ());
+      true
+    | Event.Property_notify { prop_deleted = true; _ } -> true
+    | _ -> false
+
+let send app ~target script =
+  let registry = Core.read_registry app in
+  match List.assoc_opt target registry with
+  | None ->
+    Error (Printf.sprintf "no registered interpreter named \"%s\"" target)
+  | Some target_comm ->
+    app.Core.send_serial <- app.Core.send_serial + 1;
+    let serial = string_of_int app.Core.send_serial in
+    let script_prop = Server.intern_atom app.Core.conn script_property in
+    let result_prop =
+      Server.intern_atom app.Core.conn (result_property_prefix ^ serial)
+    in
+    Server.change_property app.Core.conn target_comm ~prop:script_prop
+      ~ptype:Atom.string
+      (Tcl.Tcl_list.format
+         [ serial; string_of_int app.Core.comm_win; script ]);
+    (* Wait for the answer, processing events so that nested sends (the
+       target sending back to us while we wait) keep working. *)
+    let rec wait tries =
+      Core.update_all app.Core.server;
+      match
+        Server.get_property app.Core.conn app.Core.comm_win ~prop:result_prop
+      with
+      | Some p ->
+        Server.delete_property app.Core.conn app.Core.comm_win
+          ~prop:result_prop;
+        Some p.Window.prop_data
+      | None -> if tries > 0 then wait (tries - 1) else None
+    in
+    (match wait 100 with
+    | None ->
+      Error
+        (Printf.sprintf "target application \"%s\" died or timed out" target)
+    | Some data -> (
+      match Tcl.Tcl_list.parse data with
+      | Ok [ "0"; value ] -> Ok value
+      | Ok [ _; value ] -> Error value
+      | Ok _ | Error _ -> Error "malformed send reply"))
+
+let command app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | _ :: target :: (_ :: _ as script_words) -> (
+    let script = String.concat " " script_words in
+    match send app ~target script with
+    | Ok value -> Tcl.Interp.ok value
+    | Error msg -> (Tcl.Interp.Tcl_error, msg))
+  | _ -> Tcl.Interp.wrong_args "send appName arg ?arg ...?"
+
+let install app =
+  app.Core.pre_handlers <- pre_handler :: app.Core.pre_handlers;
+  Tcl.Interp.register app.Core.interp "send" (command app)

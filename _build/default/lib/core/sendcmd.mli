@@ -1,0 +1,20 @@
+(** The [send] command (paper §6): remote procedure call between Tk
+    applications on the same display.
+
+    Every application registers its name and a hidden communication window
+    in a root-window property. [send name script] looks the target up in
+    the registry, writes the script into a property on the target's
+    communication window, and waits (processing events, so incoming sends
+    keep working re-entrantly) for the result property to come back. Errors
+    in the remote script propagate to the sender, exactly like a local
+    command. *)
+
+val install : Core.app -> unit
+(** Register the [send] Tcl command and the incoming-send interceptor. *)
+
+val send : Core.app -> target:string -> string -> (string, string) result
+(** Execute a script in the named application; [Ok result] or
+    [Error message] (unknown application, remote error, timeout). *)
+
+val interps : Core.app -> string list
+(** Names of all registered applications ([winfo interps]). *)

@@ -1,0 +1,352 @@
+let failf = Tcl.Interp.failf
+
+let ok = Tcl.Interp.ok
+
+(* ------------------------------------------------------------------ *)
+(* bind (paper §3.2, Figure 7) *)
+
+let cmd_bind app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; path ] ->
+    ignore (Core.lookup_exn app path);
+    ok (Tcl.Tcl_list.format (Core.bound_sequences app ~path))
+  | [ _; path; sequence ] ->
+    ignore (Core.lookup_exn app path);
+    ok (Option.value (Core.binding_script app ~path ~sequence) ~default:"")
+  | [ _; path; sequence; script ] ->
+    ignore (Core.lookup_exn app path);
+    Core.bind_widget app ~path ~sequence ~script;
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "bind window ?pattern? ?command?"
+
+(* ------------------------------------------------------------------ *)
+(* destroy *)
+
+let cmd_destroy app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | _ :: (_ :: _ as paths) ->
+    List.iter
+      (fun path ->
+        match Core.lookup app path with
+        | Some w when not w.Core.destroyed -> Core.destroy_widget w
+        | Some _ | None -> ())
+      paths;
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "destroy window ?window ...?"
+
+(* ------------------------------------------------------------------ *)
+(* winfo *)
+
+let rec root_xy app w =
+  match Path.parent w.Core.path with
+  | None -> (w.Core.x, w.Core.y)
+  | Some p -> (
+    match Core.lookup app p with
+    | Some parent ->
+      let px, py = root_xy app parent in
+      (px + w.Core.x, py + w.Core.y)
+    | None -> (w.Core.x, w.Core.y))
+
+let cmd_winfo app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; "exists"; path ] -> (
+    match Core.lookup app path with
+    | Some w when not w.Core.destroyed -> ok "1"
+    | Some _ | None -> ok "0")
+  | [ _; "interps" ] -> ok (Tcl.Tcl_list.format (Sendcmd.interps app))
+  | [ _; "name" ] -> ok app.Core.app_name
+  | [ _; "screenwidth" ] ->
+    ok
+      (string_of_int
+         (Xsim.Server.root_window app.Core.server).Xsim.Window.width)
+  | [ _; "screenheight" ] ->
+    ok
+      (string_of_int
+         (Xsim.Server.root_window app.Core.server).Xsim.Window.height)
+  | [ _; "containing"; xs; ys ] -> (
+    match (int_of_string_opt xs, int_of_string_opt ys) with
+    | Some x, Some y -> (
+      let root = Xsim.Server.root_window app.Core.server in
+      match Xsim.Window.window_at root { Xsim.Geom.x; y } with
+      | Some win -> (
+        match Hashtbl.find_opt app.Core.by_xid win.Xsim.Window.id with
+        | Some w -> ok w.Core.path
+        | None -> ok "")
+      | None -> ok "")
+    | _ -> failf "expected integer coordinates")
+  | [ _; option; path ] -> (
+    let w = Core.lookup_exn app path in
+    match option with
+    | "class" -> ok w.Core.wclass.Core.cname
+    | "children" ->
+      ok
+        (Tcl.Tcl_list.format
+           (List.map (fun c -> c.Core.path) (Core.children w)))
+    | "parent" -> ok (Option.value (Path.parent path) ~default:"")
+    | "name" -> ok (Path.basename path)
+    | "width" -> ok (string_of_int w.Core.width)
+    | "height" -> ok (string_of_int w.Core.height)
+    | "x" -> ok (string_of_int w.Core.x)
+    | "y" -> ok (string_of_int w.Core.y)
+    | "rootx" -> ok (string_of_int (fst (root_xy app w)))
+    | "rooty" -> ok (string_of_int (snd (root_xy app w)))
+    | "reqwidth" -> ok (string_of_int w.Core.req_width)
+    | "reqheight" -> ok (string_of_int w.Core.req_height)
+    | "geometry" ->
+      ok (Printf.sprintf "%dx%d+%d+%d" w.Core.width w.Core.height w.Core.x w.Core.y)
+    | "ismapped" -> ok (if w.Core.mapped then "1" else "0")
+    | "id" -> ok (Printf.sprintf "0x%x" w.Core.win)
+    | _ -> failf "bad option \"%s\" to winfo" option)
+  | _ -> Tcl.Interp.wrong_args "winfo option ?arg?"
+
+(* ------------------------------------------------------------------ *)
+(* focus (paper §3.7) *)
+
+let cmd_focus app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _ ] -> ok (Option.value app.Core.focus_path ~default:"none")
+  | [ _; "none" ] ->
+    Core.set_focus app None;
+    ok ""
+  | [ _; path ] ->
+    ignore (Core.lookup_exn app path);
+    Core.set_focus app (Some path);
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "focus ?window?"
+
+(* ------------------------------------------------------------------ *)
+(* option (paper §3.5) *)
+
+let cmd_option app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; "add"; pattern; value ] ->
+    Optiondb.add app.Core.options ~pattern value;
+    ok ""
+  | [ _; "add"; pattern; value; priority ] -> (
+    match int_of_string_opt priority with
+    | Some p ->
+      Optiondb.add app.Core.options ~priority:p ~pattern value;
+      ok ""
+    | None -> failf "bad priority level \"%s\"" priority)
+  | [ _; "get"; path; name; cls ] -> (
+    let w = Core.lookup_exn app path in
+    let chain =
+      (* The chain for the window itself (without the final option). *)
+      let rec prefixes acc p =
+        match Path.parent p with
+        | None -> acc
+        | Some parent -> prefixes (p :: acc) parent
+      in
+      (app.Core.app_name, app.Core.app_class)
+      :: List.filter_map
+           (fun p ->
+             Option.map
+               (fun widget ->
+                 (Path.basename p, widget.Core.wclass.Core.cname))
+               (Core.lookup app p))
+           (prefixes [] w.Core.path)
+    in
+    match Optiondb.get app.Core.options ~name_chain:chain ~name ~cls with
+    | Some v -> ok v
+    | None -> ok "")
+  | [ _; "clear" ] ->
+    Optiondb.clear app.Core.options;
+    ok ""
+  | [ _; "readfile"; path ] -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> (
+      match Optiondb.load_string app.Core.options contents with
+      | Ok _ -> ok ""
+      | Error msg -> failf "%s" msg)
+    | exception Sys_error msg -> failf "couldn't read file \"%s\": %s" path msg)
+  | _ -> Tcl.Interp.wrong_args "option add|get|clear|readfile ..."
+
+(* ------------------------------------------------------------------ *)
+(* after, update, tkwait *)
+
+let cmd_after app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; "cancel"; id ] ->
+    (* Ids look like "after#42". *)
+    (match String.index_opt id '#' with
+    | Some i -> (
+      match
+        int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1))
+      with
+      | Some n -> ignore (Dispatch.cancel app.Core.disp n)
+      | None -> ())
+    | None -> ());
+    ok ""
+  | [ _; ms ] -> (
+    match int_of_string_opt ms with
+    | Some ms ->
+      (* Blocking form: sleep while keeping the application alive. *)
+      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+      while Unix.gettimeofday () < deadline do
+        Core.update app;
+        ignore (Unix.select [] [] [] 0.002)
+      done;
+      ok ""
+    | None -> failf "expected integer but got \"%s\"" ms)
+  | _ :: ms :: (_ :: _ as script_words) -> (
+    match int_of_string_opt ms with
+    | Some ms ->
+      let script = String.concat " " script_words in
+      let id =
+        Dispatch.after app.Core.disp ~ms (fun () ->
+            Core.eval_callback app ~context:"after script" script)
+      in
+      ok (Printf.sprintf "after#%d" id)
+    | None -> failf "expected integer but got \"%s\"" ms)
+  | _ -> Tcl.Interp.wrong_args "after ms ?command?"
+
+let cmd_grab app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; "current" ] -> ok (Option.value app.Core.grab_path ~default:"")
+  | [ _; "release"; _path ] ->
+    app.Core.grab_path <- None;
+    ok ""
+  | [ _; "set"; path ] | [ _; path ] ->
+    ignore (Core.lookup_exn app path);
+    app.Core.grab_path <- Some path;
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "grab set|release|current ?window?"
+
+let cmd_update app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _ ] ->
+    Core.update app;
+    ok ""
+  | [ _; "idletasks" ] ->
+    ignore (Dispatch.run_idle app.Core.disp);
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "update ?idletasks?"
+
+let cmd_tkwait app : Tcl.Interp.command =
+ fun _interp words ->
+  (* Both forms pump the event loop, so timers, bindings and incoming
+     sends keep running while we wait. *)
+  let pump continue_waiting =
+    let guard = ref 1_000_000 in
+    while continue_waiting () && !guard > 0 do
+      Core.update app;
+      decr guard;
+      if continue_waiting () then ignore (Unix.select [] [] [] 0.001)
+    done
+  in
+  match words with
+  | [ _; "window"; path ] ->
+    pump (fun () ->
+        match Core.lookup app path with
+        | Some w -> not w.Core.destroyed
+        | None -> false);
+    ok ""
+  | [ _; "variable"; name ] ->
+    let initial = Tcl.Interp.get_var app.Core.interp name in
+    pump (fun () -> Tcl.Interp.get_var app.Core.interp name = initial);
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "tkwait variable|window name"
+
+(* ------------------------------------------------------------------ *)
+(* wm: a minimal window-manager interface (we are our own WM) *)
+
+let cmd_wm app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _; "title"; path ] ->
+    ignore (Core.lookup_exn app path);
+    ok app.Core.title
+  | [ _; "title"; path; title ] ->
+    let w = Core.lookup_exn app path in
+    app.Core.title <- title;
+    (* Published as WM_NAME so the (simulated) window manager can draw a
+       title bar, as twm does in the paper's Figure 10. *)
+    Xsim.Server.change_property app.Core.conn w.Core.win
+      ~prop:Xsim.Atom.wm_name ~ptype:Xsim.Atom.string title;
+    ok ""
+  | [ _; "geometry"; path; geometry ] -> (
+    let w = Core.lookup_exn app path in
+    (* WxH, WxH+X+Y or +X+Y *)
+    let parse_signed s i =
+      (* at s.[i] = '+' or '-' *)
+      let sign = if s.[i] = '-' then -1 else 1 in
+      let j = ref (i + 1) in
+      while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      (sign * int_of_string (String.sub s (i + 1) (!j - i - 1)), !j)
+    in
+    match
+      (let s = geometry in
+       let size, rest =
+         match String.index_opt s 'x' with
+         | Some _ when s.[0] <> '+' && s.[0] <> '-' -> (
+           let xi = String.index s 'x' in
+           let wid = int_of_string (String.sub s 0 xi) in
+           let j = ref (xi + 1) in
+           while
+             !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9'
+           do
+             incr j
+           done;
+           let hei = int_of_string (String.sub s (xi + 1) (!j - xi - 1)) in
+           (Some (wid, hei), !j))
+         | _ -> (None, 0)
+       in
+       let pos =
+         if rest < String.length s && (s.[rest] = '+' || s.[rest] = '-') then begin
+           let x, j = parse_signed s rest in
+           if j < String.length s && (s.[j] = '+' || s.[j] = '-') then
+             let y, _ = parse_signed s j in
+             Some (x, y)
+           else None
+         end
+         else None
+       in
+       (size, pos))
+    with
+    | exception _ -> failf "bad geometry specifier \"%s\"" geometry
+    | size, pos ->
+      let x = match pos with Some (x, _) -> x | None -> w.Core.x in
+      let y = match pos with Some (_, y) -> y | None -> w.Core.y in
+      let width = match size with Some (wd, _) -> wd | None -> w.Core.width in
+      let height = match size with Some (_, h) -> h | None -> w.Core.height in
+      Core.move_resize w ~x ~y ~width ~height;
+      ok "")
+  | [ _; "geometry"; path ] ->
+    let w = Core.lookup_exn app path in
+    ok
+      (Printf.sprintf "%dx%d+%d+%d" w.Core.width w.Core.height w.Core.x
+         w.Core.y)
+  | [ _; "withdraw"; path ] ->
+    Core.unmap_widget (Core.lookup_exn app path);
+    ok ""
+  | [ _; "deiconify"; path ] ->
+    Core.map_widget (Core.lookup_exn app path);
+    ok ""
+  | _ -> Tcl.Interp.wrong_args "wm option window ?arg?"
+
+let install app =
+  let register name cmd = Tcl.Interp.register app.Core.interp name (cmd app) in
+  register "bind" cmd_bind;
+  register "destroy" cmd_destroy;
+  register "winfo" cmd_winfo;
+  register "focus" cmd_focus;
+  register "option" cmd_option;
+  register "after" cmd_after;
+  register "update" cmd_update;
+  register "tkwait" cmd_tkwait;
+  register "grab" cmd_grab;
+  register "wm" cmd_wm;
+  Pack.install app;
+  Place.install app;
+  Selection.install app;
+  Sendcmd.install app

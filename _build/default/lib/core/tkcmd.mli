@@ -1,0 +1,7 @@
+(** The Tcl commands of the Tk intrinsics: [bind], [destroy], [winfo],
+    [focus], [option], [after], [update], [wm], [tkwait] — plus, via their
+    own modules, [pack], [selection] and [send]. Widget-creation commands
+    are registered separately by the widget library. *)
+
+val install : Core.app -> unit
+(** Register every intrinsics command in the application's interpreter. *)

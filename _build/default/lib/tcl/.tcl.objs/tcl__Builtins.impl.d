@@ -1,0 +1,1 @@
+lib/tcl/builtins.ml: Cmd_control Cmd_file Cmd_info Cmd_list Cmd_misc Cmd_regexp Cmd_string Interp

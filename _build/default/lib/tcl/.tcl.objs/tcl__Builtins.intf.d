@@ -1,0 +1,1 @@
+lib/tcl/builtins.mli: Interp

@@ -1,0 +1,1 @@
+lib/tcl/cmd_control.ml: Expr In_channel Interp List Option Printf Stdlib String Sys Tcl_list

@@ -1,0 +1,1 @@
+lib/tcl/cmd_file.ml: Array Bytes Filename Fun Glob Hashtbl In_channel Int64 Interp List Printf String Sys Tcl_list

@@ -1,0 +1,1 @@
+lib/tcl/cmd_file.mli: Interp

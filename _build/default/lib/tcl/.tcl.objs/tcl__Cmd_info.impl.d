@@ -1,0 +1,1 @@
+lib/tcl/cmd_info.ml: Glob Interp List Tcl_list

@@ -1,0 +1,1 @@
+lib/tcl/cmd_list.ml: Buffer Glob Interp List Option Stdlib String Tcl_list

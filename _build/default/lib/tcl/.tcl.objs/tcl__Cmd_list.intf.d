@@ -1,0 +1,1 @@
+lib/tcl/cmd_list.mli: Interp

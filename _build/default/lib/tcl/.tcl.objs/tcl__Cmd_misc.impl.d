@@ -1,0 +1,1 @@
+lib/tcl/cmd_misc.ml: Glob Interp List Printf Stdlib String Tcl_list

@@ -1,0 +1,1 @@
+lib/tcl/cmd_regexp.ml: Array Buffer Char Interp List Printf Regexp String

@@ -1,0 +1,1 @@
+lib/tcl/cmd_string.ml: Buffer Char Chars Expr Glob Interp List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/tcl/cmd_string.mli: Interp

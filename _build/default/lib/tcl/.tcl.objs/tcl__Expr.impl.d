@@ -1,0 +1,1 @@
+lib/tcl/expr.ml: Buffer Chars Float Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/tcl/expr.mli:

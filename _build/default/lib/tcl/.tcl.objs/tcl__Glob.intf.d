@@ -1,0 +1,1 @@
+lib/tcl/glob.mli:

@@ -1,0 +1,1 @@
+lib/tcl/interp.ml: Buffer Chars Expr Format Fun Hashtbl List Printf Stdlib String Tcl_list

@@ -1,0 +1,1 @@
+lib/tcl/interp.mli: Expr Format Stdlib

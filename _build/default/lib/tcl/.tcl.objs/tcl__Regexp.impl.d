@@ -1,0 +1,1 @@
+lib/tcl/regexp.ml: Array Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/tcl/tcl_list.ml: Buffer Chars List Result String

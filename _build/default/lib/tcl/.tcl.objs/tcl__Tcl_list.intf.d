@@ -1,0 +1,1 @@
+lib/tcl/tcl_list.mli:

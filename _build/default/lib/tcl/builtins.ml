@@ -1,0 +1,13 @@
+let install t =
+  Cmd_control.install t;
+  Cmd_list.install t;
+  Cmd_string.install t;
+  Cmd_info.install t;
+  Cmd_file.install t;
+  Cmd_regexp.install t;
+  Cmd_misc.install t
+
+let new_interp () =
+  let t = Interp.create () in
+  install t;
+  t

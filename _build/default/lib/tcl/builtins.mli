@@ -1,0 +1,9 @@
+(** Installation of the complete built-in command set (Figure 6's
+    "Tcl library" box): control flow, variables, procedures, lists,
+    strings, introspection and filesystem commands. *)
+
+val install : Interp.t -> unit
+(** Register every built-in command in an interpreter. *)
+
+val new_interp : unit -> Interp.t
+(** [create] + [install]: a ready-to-use Tcl interpreter. *)

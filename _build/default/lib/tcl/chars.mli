@@ -1,0 +1,26 @@
+(** Character classification and backslash processing shared by the Tcl
+    parser, the expression evaluator and the list parser. *)
+
+val is_space : char -> bool
+(** Horizontal whitespace (space, tab, CR, FF, VT) — separates words. *)
+
+val is_command_end : char -> bool
+(** Newline or semicolon — terminates a command outside braces/quotes. *)
+
+val is_var_char : char -> bool
+(** Characters allowed in a variable name after [$]: letters, digits, [_]. *)
+
+val is_digit : char -> bool
+
+val backslash_subst : string -> int -> string * int
+(** [backslash_subst s i] interprets the backslash sequence starting at the
+    backslash [s.[i]]. Returns the replacement text and the index of the
+    first character after the sequence. Handles the standard Tcl escapes
+    ([\n], [\t], [\r], [\b], [\f], [\v], [\e]), backslash-newline (which
+    becomes a single space, also consuming leading whitespace of the next
+    line), [\xHH] hexadecimal and [\ooo] octal escapes; any other character
+    is passed through unchanged. *)
+
+val find_matching_brace : string -> int -> int option
+(** [find_matching_brace s i] with [s.[i] = '{'] returns the index of the
+    matching ['}'], honouring nested braces and backslash escapes. *)

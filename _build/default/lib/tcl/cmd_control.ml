@@ -1,0 +1,328 @@
+open Interp
+
+exception Exit_program of int
+
+(* ------------------------------------------------------------------ *)
+(* Variables *)
+
+let cmd_set t = function
+  | [ _; name ] -> get_var_exn t name
+  | [ _; name; value ] ->
+    set_var t name value;
+    value
+  | _ -> wrong_args "set varName ?newValue?"
+
+let cmd_unset t = function
+  | _ :: (_ :: _ as names) ->
+    List.iter
+      (fun name ->
+        if not (unset_var t name) then
+          failf "can't unset \"%s\": no such variable" name)
+      names;
+    ""
+  | _ -> wrong_args "unset varName ?varName ...?"
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> failf "expected integer but got \"%s\"%s" s what
+
+let cmd_incr t = function
+  | [ _; name ] | [ _; name; _ ] as words ->
+    let amount =
+      match words with
+      | [ _; _; by ] -> parse_int "" by
+      | _ -> 1
+    in
+    let current = parse_int "" (get_var_exn t name) in
+    let v = string_of_int (current + amount) in
+    set_var t name v;
+    v
+  | _ -> wrong_args "incr varName ?increment?"
+
+let cmd_append t = function
+  | _ :: name :: values ->
+    let current = Option.value (get_var t name) ~default:"" in
+    let v = current ^ String.concat "" values in
+    set_var t name v;
+    v
+  | _ -> wrong_args "append varName ?value value ...?"
+
+let cmd_global t = function
+  | _ :: (_ :: _ as names) ->
+    List.iter
+      (fun name -> link_var t ~target_level:0 ~target:name ~local:name)
+      names;
+    ""
+  | _ -> wrong_args "global varName ?varName ...?"
+
+(* upvar ?level? otherVar myVar ?otherVar myVar ...? *)
+let cmd_upvar t words =
+  let level_spec, pairs =
+    match words with
+    | _ :: first :: rest when parse_level t first <> None && List.length rest >= 2 ->
+      (first, rest)
+    | _ :: rest -> ("1", rest)
+    | [] -> wrong_args "upvar ?level? otherVar localVar ?otherVar localVar ...?"
+  in
+  match parse_level t level_spec with
+  | None -> failf "bad level \"%s\"" level_spec
+  | Some level ->
+    let rec bind = function
+      | [] -> ""
+      | other :: local :: rest ->
+        link_var t ~target_level:level ~target:other ~local;
+        bind rest
+      | [ _ ] ->
+        wrong_args "upvar ?level? otherVar localVar ?otherVar localVar ...?"
+    in
+    bind pairs
+
+let cmd_uplevel t words =
+  let run level args =
+    let script = String.concat " " args in
+    with_level t level (fun () -> eval t script)
+  in
+  match words with
+  | _ :: first :: (_ :: _ as rest) -> (
+    match parse_level t first with
+    | Some level -> run level rest
+    | None -> run (max 0 (current_level t - 1)) (first :: rest))
+  | [ _; script ] -> run (max 0 (current_level t - 1)) [ script ]
+  | _ -> wrong_args "uplevel ?level? command ?arg ...?"
+
+(* ------------------------------------------------------------------ *)
+(* Procedures *)
+
+let cmd_proc t = function
+  | [ _; name; formals; body ] ->
+    let parse_formal f =
+      match Tcl_list.parse f with
+      | Stdlib.Ok [ name ] -> (name, None)
+      | Stdlib.Ok [ name; default ] -> (name, Some default)
+      | Stdlib.Ok _ | Stdlib.Error _ ->
+        failf "procedure \"%s\" has argument with bad format \"%s\"" name f
+    in
+    (match Tcl_list.parse formals with
+    | Stdlib.Error msg -> failf "%s" msg
+    | Stdlib.Ok fs ->
+      define_proc t name (List.map parse_formal fs) body;
+      "")
+  | _ -> wrong_args "proc name args body"
+
+let cmd_return _t = function
+  | [ _ ] -> (Tcl_return, "")
+  | [ _; value ] -> (Tcl_return, value)
+  | _ -> wrong_args "return ?value?"
+
+let cmd_break _t = function
+  | [ _ ] -> (Tcl_break, "")
+  | _ -> wrong_args "break"
+
+let cmd_continue _t = function
+  | [ _ ] -> (Tcl_continue, "")
+  | _ -> wrong_args "continue"
+
+(* ------------------------------------------------------------------ *)
+(* Control flow *)
+
+(* if expr ?then? body ?elseif expr ?then? body ...? ??else? body? *)
+let cmd_if t words =
+  let rec clause = function
+    | cond :: rest -> (
+      let rest = match rest with "then" :: r -> r | r -> r in
+      match rest with
+      | body :: rest ->
+        if eval_expr_bool t cond then eval t body
+        else tail rest
+      | [] -> wrong_args "if condition ?then? body ?else body?")
+    | [] -> wrong_args "if condition ?then? body ?else body?"
+  and tail = function
+    | [] -> ok ""
+    | "elseif" :: rest -> clause rest
+    | "else" :: [ body ] -> eval t body
+    | [ body ] -> eval t body (* old-style implicit else *)
+    | _ -> failf "wrong # args: extra words after \"else\" clause in \"if\""
+  in
+  clause (List.tl words)
+
+let run_loop_body t body =
+  (* Returns [`Proceed] to continue looping, or a final result. *)
+  match eval t body with
+  | Tcl_ok, _ | Tcl_continue, _ -> `Proceed
+  | Tcl_break, _ -> `Stop (ok "")
+  | (Tcl_error, msg) -> `Stop (Tcl_error, msg)
+  | (Tcl_return, _) as r -> `Stop r
+
+let cmd_while t = function
+  | [ _; cond; body ] ->
+    let rec loop () =
+      if eval_expr_bool t cond then
+        match run_loop_body t body with
+        | `Proceed -> loop ()
+        | `Stop r -> r
+      else ok ""
+    in
+    loop ()
+  | _ -> wrong_args "while test command"
+
+let cmd_for t = function
+  | [ _; init; cond; next; body ] -> (
+    match eval t init with
+    | (Tcl_error, _) as e -> e
+    | _ ->
+      let rec loop () =
+        if eval_expr_bool t cond then
+          match run_loop_body t body with
+          | `Stop r -> r
+          | `Proceed -> (
+            match eval t next with
+            | (Tcl_error, _) as e -> e
+            | _ -> loop ())
+        else ok ""
+      in
+      loop ())
+  | _ -> wrong_args "for start test next command"
+
+let cmd_foreach t = function
+  | [ _; var; list; body ] -> (
+    match Tcl_list.parse list with
+    | Stdlib.Error msg -> (Tcl_error, msg)
+    | Stdlib.Ok elements ->
+      let rec loop = function
+        | [] -> ok ""
+        | e :: rest -> (
+          set_var t var e;
+          match run_loop_body t body with
+          | `Proceed -> loop rest
+          | `Stop r -> r)
+      in
+      loop elements)
+  | _ -> wrong_args "foreach varName list command"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let cmd_eval t = function
+  | _ :: (_ :: _ as args) -> eval t (String.concat " " args)
+  | _ -> wrong_args "eval arg ?arg ...?"
+
+let status_code = function
+  | Tcl_ok -> 0
+  | Tcl_error -> 1
+  | Tcl_return -> 2
+  | Tcl_break -> 3
+  | Tcl_continue -> 4
+
+let cmd_catch t = function
+  | [ _; body ] ->
+    let status, _ = eval t body in
+    mark_error_handled t;
+    ok (string_of_int (status_code status))
+  | [ _; body; var ] ->
+    let status, v = eval t body in
+    mark_error_handled t;
+    set_var t var v;
+    ok (string_of_int (status_code status))
+  | _ -> wrong_args "catch command ?varName?"
+
+let cmd_error _t = function
+  | [ _; msg ] | [ _; msg; _ ] | [ _; msg; _; _ ] -> (Tcl_error, msg)
+  | _ -> wrong_args "error message ?errorInfo? ?errorCode?"
+
+let cmd_expr t = function
+  | _ :: (_ :: _ as args) ->
+    Expr.eval_string (expr_env t) (String.concat " " args)
+  | _ -> wrong_args "expr arg ?arg ...?"
+
+let cmd_source t = function
+  | [ _; path ] -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | contents -> eval t contents
+    | exception Sys_error msg ->
+      (Tcl_error, Printf.sprintf "couldn't read file \"%s\": %s" path msg))
+  | _ -> wrong_args "source fileName"
+
+let cmd_time t = function
+  | [ _; body ] | [ _; body; _ ] as words ->
+    let count =
+      match words with
+      | [ _; _; c ] -> parse_int "" c
+      | _ -> 1
+    in
+    if count <= 0 then failf "count must be positive"
+    else begin
+      let start = Sys.time () in
+      let failure = ref None in
+      (try
+         for _ = 1 to count do
+           match eval t body with
+           | Tcl_error, msg -> raise (Tcl_failure msg)
+           | _ -> ()
+         done
+       with Tcl_failure msg -> failure := Some msg);
+      match !failure with
+      | Some msg -> (Tcl_error, msg)
+      | None ->
+        let elapsed = Sys.time () -. start in
+        let micros = elapsed *. 1e6 /. float_of_int count in
+        ok (Printf.sprintf "%.0f microseconds per iteration" micros)
+    end
+  | _ -> wrong_args "time command ?count?"
+
+let cmd_rename t = function
+  | [ _; old_name; new_name ] -> (
+    match rename_command t old_name new_name with
+    | Stdlib.Ok () -> ok ""
+    | Stdlib.Error msg -> (Tcl_error, msg))
+  | _ -> wrong_args "rename oldName newName"
+
+(* ------------------------------------------------------------------ *)
+(* Output and process control *)
+
+let cmd_print t = function
+  | _ :: (_ :: _ as args) ->
+    output t (String.concat " " args);
+    ""
+  | _ -> wrong_args "print string ?string ...?"
+
+let cmd_puts t = function
+  | [ _; s ] ->
+    output t (s ^ "\n");
+    ""
+  | [ _; "-nonewline"; s ] ->
+    output t s;
+    ""
+  | _ -> wrong_args "puts ?-nonewline? string"
+
+let cmd_exit _t = function
+  | [ _ ] -> raise (Exit_program 0)
+  | [ _; code ] -> raise (Exit_program (parse_int "" code))
+  | _ -> wrong_args "exit ?returnCode?"
+
+let install t =
+  register_value t "set" cmd_set;
+  register_value t "unset" cmd_unset;
+  register_value t "incr" cmd_incr;
+  register_value t "append" cmd_append;
+  register_value t "global" cmd_global;
+  register_value t "upvar" cmd_upvar;
+  register t "uplevel" cmd_uplevel;
+  register_value t "proc" cmd_proc;
+  register t "return" cmd_return;
+  register t "break" cmd_break;
+  register t "continue" cmd_continue;
+  register t "if" cmd_if;
+  register t "while" cmd_while;
+  register t "for" cmd_for;
+  register t "foreach" cmd_foreach;
+  register t "eval" cmd_eval;
+  register t "catch" cmd_catch;
+  register t "error" cmd_error;
+  register_value t "expr" cmd_expr;
+  register t "source" cmd_source;
+  register t "time" cmd_time;
+  register t "rename" cmd_rename;
+  register_value t "print" cmd_print;
+  register_value t "puts" cmd_puts;
+  register_value t "exit" cmd_exit

@@ -1,0 +1,304 @@
+open Interp
+
+let known_options =
+  [
+    "exists"; "isdirectory"; "isfile"; "readable"; "writable"; "dirname";
+    "tail"; "rootname"; "extension"; "size";
+  ]
+
+let file_size path =
+  match In_channel.with_open_bin path In_channel.length with
+  | len -> Some (Int64.to_int len)
+  | exception Sys_error _ -> None
+
+let apply_file_option option path =
+  let bool b = if b then "1" else "0" in
+  match option with
+  | "exists" -> bool (Sys.file_exists path)
+  | "isdirectory" -> bool (Sys.file_exists path && Sys.is_directory path)
+  | "isfile" ->
+    bool (Sys.file_exists path && not (Sys.is_directory path))
+  | "readable" -> bool (Sys.file_exists path)
+  | "writable" -> bool (Sys.file_exists path)
+  | "dirname" -> Filename.dirname path
+  | "tail" -> Filename.basename path
+  | "rootname" -> Filename.remove_extension path
+  | "extension" ->
+    let base = Filename.basename path in
+    (try
+       let dot = String.rindex base '.' in
+       String.sub base dot (String.length base - dot)
+     with Not_found -> "")
+  | "size" -> (
+    match file_size path with
+    | Some n -> string_of_int n
+    | None -> failf "couldn't stat \"%s\"" path)
+  | opt -> failf "bad file option \"%s\"" opt
+
+let cmd_file _t = function
+  | [ _; a; b ] ->
+    (* Modern order is "file option name"; the paper's Figure 9 uses
+       "file name option". Accept both by checking which word is a known
+       option. *)
+    if List.mem a known_options then apply_file_option a b
+    else if List.mem b known_options then apply_file_option b a
+    else failf "bad file option \"%s\"" a
+  | _ -> wrong_args "file option name"
+
+let cmd_glob _t words =
+  let no_complain, patterns =
+    match words with
+    | _ :: "-nocomplain" :: rest -> (true, rest)
+    | _ :: rest -> (false, rest)
+    | [] -> assert false
+  in
+  if patterns = [] then wrong_args "glob ?-nocomplain? pattern ?pattern ...?"
+  else begin
+    let expand pattern =
+      let dir = Filename.dirname pattern in
+      let base = Filename.basename pattern in
+      let entries =
+        match Sys.readdir (if String.contains pattern '/' then dir else ".") with
+        | entries -> Array.to_list entries
+        | exception Sys_error _ -> []
+      in
+      let matched =
+        List.filter (fun e -> Glob.matches ~pattern:base e) entries
+      in
+      let matched =
+        (* Hidden files only match patterns that start with a dot. *)
+        List.filter
+          (fun e ->
+            String.length e > 0
+            && (e.[0] <> '.' || (String.length base > 0 && base.[0] = '.')))
+          matched
+      in
+      if String.contains pattern '/' then
+        List.map (fun e -> Filename.concat dir e) matched
+      else matched
+    in
+    let results = List.concat_map expand patterns in
+    if results = [] && not no_complain then
+      failf "no files matched glob pattern(s)"
+    else Tcl_list.format (List.sort String.compare results)
+  end
+
+let cmd_pwd _t = function
+  | [ _ ] -> Sys.getcwd ()
+  | _ -> wrong_args "pwd"
+
+let cmd_cd _t = function
+  | [ _; dir ] -> (
+    match Sys.chdir dir with
+    | () -> ""
+    | exception Sys_error msg -> failf "couldn't change directory: %s" msg)
+  | _ -> wrong_args "cd dirName"
+
+(* Run a command, capturing stdout. Uses a shell via Sys.command with
+   output redirected to a temporary file, so no extra library is needed. *)
+let cmd_exec _t = function
+  | _ :: (_ :: _ as argv) ->
+    let background, argv =
+      match List.rev argv with
+      | "&" :: rest -> (true, List.rev rest)
+      | _ -> (false, argv)
+    in
+    let command = Filename.quote_command (List.hd argv) (List.tl argv) in
+    if background then begin
+      ignore (Sys.command (command ^ " &"));
+      ""
+    end
+    else begin
+      let tmp = Filename.temp_file "tclexec" ".out" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let status =
+            Sys.command (command ^ " > " ^ Filename.quote tmp ^ " 2>&1")
+          in
+          let out =
+            In_channel.with_open_text tmp In_channel.input_all
+          in
+          let out =
+            (* Trim a single trailing newline, as Tcl's exec does. *)
+            if String.length out > 0 && out.[String.length out - 1] = '\n'
+            then String.sub out 0 (String.length out - 1)
+            else out
+          in
+          if status <> 0 then
+            failf "command \"%s\" returned non-zero exit status %d: %s"
+              (List.hd argv) status out
+          else out)
+    end
+  | _ -> wrong_args "exec arg ?arg ...?"
+
+(* ------------------------------------------------------------------ *)
+(* File channels (Tcl's open/close/gets/read/eof/flush, plus puts to a
+   channel). Channel ids look like "file3"; stdout/stderr are built in. *)
+
+type chan = Chan_in of in_channel | Chan_out of out_channel
+
+type chan_state = {
+  owner : Interp.t;
+  channels : (string, chan) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let chan_states : chan_state list ref = ref []
+
+let chan_state_for t =
+  match List.find_opt (fun s -> s.owner == t) !chan_states with
+  | Some s -> s
+  | None ->
+    let s = { owner = t; channels = Hashtbl.create 8; next_id = 3 } in
+    chan_states := s :: !chan_states;
+    s
+
+let find_channel t id =
+  match Hashtbl.find_opt (chan_state_for t).channels id with
+  | Some c -> Some c
+  | None -> (
+    match id with
+    | "stdout" -> Some (Chan_out stdout)
+    | "stderr" -> Some (Chan_out stderr)
+    | "stdin" -> Some (Chan_in stdin)
+    | _ -> None)
+
+let channel_exn t id =
+  match find_channel t id with
+  | Some c -> c
+  | None -> failf "file \"%s\" isn't open" id
+
+let out_channel_exn t id =
+  match channel_exn t id with
+  | Chan_out oc -> oc
+  | Chan_in _ -> failf "\"%s\" wasn't opened for writing" id
+
+let in_channel_exn t id =
+  match channel_exn t id with
+  | Chan_in ic -> ic
+  | Chan_out _ -> failf "\"%s\" wasn't opened for reading" id
+
+let cmd_open t = function
+  | [ _; path ] | [ _; path; "r" ] -> (
+    match open_in path with
+    | ic ->
+      let s = chan_state_for t in
+      let id = Printf.sprintf "file%d" s.next_id in
+      s.next_id <- s.next_id + 1;
+      Hashtbl.replace s.channels id (Chan_in ic);
+      id
+    | exception Sys_error msg -> failf "couldn't open \"%s\": %s" path msg)
+  | [ _; path; mode ] -> (
+    let flags =
+      match mode with
+      | "w" -> Some [ Open_wronly; Open_creat; Open_trunc ]
+      | "a" -> Some [ Open_wronly; Open_creat; Open_append ]
+      | _ -> None
+    in
+    match flags with
+    | None -> failf "bad access mode \"%s\": must be r, w, or a" mode
+    | Some flags -> (
+      match open_out_gen flags 0o644 path with
+      | oc ->
+        let s = chan_state_for t in
+        let id = Printf.sprintf "file%d" s.next_id in
+        s.next_id <- s.next_id + 1;
+        Hashtbl.replace s.channels id (Chan_out oc);
+        id
+      | exception Sys_error msg -> failf "couldn't open \"%s\": %s" path msg))
+  | _ -> wrong_args "open fileName ?access?"
+
+let cmd_close t = function
+  | [ _; id ] ->
+    (match channel_exn t id with
+    | Chan_in ic -> close_in ic
+    | Chan_out oc -> close_out oc);
+    Hashtbl.remove (chan_state_for t).channels id;
+    ""
+  | _ -> wrong_args "close fileId"
+
+let cmd_gets t = function
+  | [ _; id ] -> (
+    match In_channel.input_line (in_channel_exn t id) with
+    | Some line -> line
+    | None -> "")
+  | [ _; id; var ] -> (
+    match In_channel.input_line (in_channel_exn t id) with
+    | Some line ->
+      set_var t var line;
+      string_of_int (String.length line)
+    | None ->
+      set_var t var "";
+      "-1")
+  | _ -> wrong_args "gets fileId ?varName?"
+
+let cmd_read t = function
+  | [ _; id ] -> In_channel.input_all (in_channel_exn t id)
+  | [ _; id; count ] -> (
+    let ic = in_channel_exn t id in
+    match int_of_string_opt count with
+    | Some n ->
+      let buf = Bytes.create n in
+      let got = input ic buf 0 n in
+      Bytes.sub_string buf 0 got
+    | None -> failf "expected integer but got \"%s\"" count)
+  | _ -> wrong_args "read fileId ?numBytes?"
+
+let cmd_eof t = function
+  | [ _; id ] -> (
+    let ic = in_channel_exn t id in
+    match In_channel.pos ic >= In_channel.length ic with
+    | b -> if b then "1" else "0"
+    | exception Sys_error _ -> "1")
+  | _ -> wrong_args "eof fileId"
+
+let cmd_flush t = function
+  | [ _; id ] ->
+    flush (out_channel_exn t id);
+    ""
+  | _ -> wrong_args "flush fileId"
+
+(* puts with channel support: [puts ?-nonewline? ?fileId? string]. The
+   default destination is the interpreter's output hook, so tests and
+   embedding applications can capture it. *)
+let cmd_puts t words =
+  let nonewline, rest =
+    match words with
+    | _ :: "-nonewline" :: rest -> (true, rest)
+    | _ :: rest -> (false, rest)
+    | [] -> (false, [])
+  in
+  let write_default s = output t (if nonewline then s else s ^ "\n") in
+  match rest with
+  | [ s ] ->
+    write_default s;
+    ""
+  | [ id; s ] -> (
+    match find_channel t id with
+    | Some (Chan_out oc) ->
+      output_string oc s;
+      if not nonewline then output_char oc '\n';
+      ""
+    | Some (Chan_in _) -> failf "\"%s\" wasn't opened for writing" id
+    | None ->
+      (* Not a channel: treat both words as one message, as old Tcl's
+         two-argument puts to stdout did not exist — error clearly. *)
+      failf "file \"%s\" isn't open" id)
+  | _ -> wrong_args "puts ?-nonewline? ?fileId? string"
+
+let install t =
+  register_value t "file" cmd_file;
+  register_value t "glob" cmd_glob;
+  register_value t "pwd" cmd_pwd;
+  register_value t "cd" cmd_cd;
+  register_value t "exec" cmd_exec;
+  register_value t "open" cmd_open;
+  register_value t "close" cmd_close;
+  register_value t "gets" cmd_gets;
+  register_value t "read" cmd_read;
+  register_value t "eof" cmd_eof;
+  register_value t "flush" cmd_flush;
+  (* Replaces the basic puts from Cmd_control with the channel-aware
+     version (Builtins installs Cmd_control first). *)
+  register_value t "puts" cmd_puts

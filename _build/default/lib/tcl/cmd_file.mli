@@ -1,0 +1,11 @@
+(** Filesystem and process commands: [file] (accepting both the modern
+    ["file option name"] and the 1990-era ["file name option"] orders used
+    by the paper's Figure 9), [glob], [pwd], [cd], [exec], and file
+    channels ([open]/[close]/[gets]/[read]/[eof]/[flush], with [puts]
+    extended to write to channels — [stdout] and [stderr] are
+    predefined).
+
+    [exec] captures the standard output of a shell command; it exists so
+    the paper's browser script ([exec ls -a $dir]) runs verbatim. *)
+
+val install : Interp.t -> unit

@@ -1,0 +1,61 @@
+open Interp
+
+let filter_glob pattern names =
+  match pattern with
+  | None -> names
+  | Some pattern -> List.filter (fun n -> Glob.matches ~pattern n) names
+
+let cmd_info t words =
+  match words with
+  | [ _; "exists"; name ] -> if get_var t name <> None then "1" else "0"
+  | _ :: "commands" :: rest ->
+    let pattern = match rest with [ p ] -> Some p | _ -> None in
+    Tcl_list.format (filter_glob pattern (command_names t))
+  | _ :: "procs" :: rest ->
+    let pattern = match rest with [ p ] -> Some p | _ -> None in
+    Tcl_list.format (filter_glob pattern (proc_names t))
+  | [ _; "body"; name ] -> (
+    match proc_info t name with
+    | Some (_, body) -> body
+    | None -> failf "\"%s\" isn't a procedure" name)
+  | [ _; "args"; name ] -> (
+    match proc_info t name with
+    | Some (formals, _) -> Tcl_list.format (List.map fst formals)
+    | None -> failf "\"%s\" isn't a procedure" name)
+  | [ _; "default"; name; arg; var ] -> (
+    match proc_info t name with
+    | None -> failf "\"%s\" isn't a procedure" name
+    | Some (formals, _) -> (
+      match List.assoc_opt arg formals with
+      | None ->
+        failf "procedure \"%s\" doesn't have an argument \"%s\"" name arg
+      | Some None ->
+        set_var t var "";
+        "0"
+      | Some (Some default) ->
+        set_var t var default;
+        "1"))
+  | _ :: "vars" :: rest ->
+    let pattern = match rest with [ p ] -> Some p | _ -> None in
+    Tcl_list.format
+      (filter_glob pattern (var_names t ~local:true ~global:(current_level t = 0)))
+  | _ :: "globals" :: rest ->
+    let pattern = match rest with [ p ] -> Some p | _ -> None in
+    Tcl_list.format (filter_glob pattern (var_names t ~local:false ~global:true))
+  | _ :: "locals" :: rest ->
+    let pattern = match rest with [ p ] -> Some p | _ -> None in
+    if current_level t = 0 then ""
+    else
+      Tcl_list.format
+        (filter_glob pattern (var_names t ~local:true ~global:false))
+  | [ _; "level" ] -> string_of_int (current_level t)
+  | [ _; "cmdcount" ] -> string_of_int (command_count t)
+  | [ _; "tclversion" ] -> "6.0"
+  | _ :: sub :: _ ->
+    failf
+      "bad option \"%s\": should be args, body, cmdcount, commands, \
+       default, exists, globals, level, locals, procs, tclversion, or vars"
+      sub
+  | _ -> wrong_args "info option ?arg arg ...?"
+
+let install t = register_value t "info" cmd_info

@@ -1,0 +1,6 @@
+(** The [info] introspection command: [exists], [commands], [procs],
+    [body], [args], [default], [vars], [globals], [locals], [level],
+    [cmdcount], [tclversion]. The paper highlights that Tcl "provides
+    access to its own internals"; this is that access. *)
+
+val install : Interp.t -> unit

@@ -1,0 +1,190 @@
+open Interp
+
+let parse_list_exn l =
+  match Tcl_list.parse l with
+  | Stdlib.Ok elements -> elements
+  | Stdlib.Error msg -> failf "%s" msg
+
+(* A list index: an integer, "end", or "end-N". [len] is the list length. *)
+let parse_index len s =
+  let s = String.trim s in
+  if s = "end" then len - 1
+  else if String.length s > 4 && String.sub s 0 4 = "end-" then
+    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+    | Some k -> len - 1 - k
+    | None -> failf "bad index \"%s\": must be integer or end" s
+  else
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> failf "bad index \"%s\": must be integer or end" s
+
+let cmd_list _t = function
+  | _ :: args -> Tcl_list.format args
+  | [] -> assert false
+
+let cmd_lindex _t = function
+  | [ _; l; idx ] ->
+    let elements = parse_list_exn l in
+    let i = parse_index (List.length elements) idx in
+    if i < 0 then ""
+    else (match List.nth_opt elements i with Some e -> e | None -> "")
+  | _ -> wrong_args "lindex list index"
+
+let cmd_llength _t = function
+  | [ _; l ] -> string_of_int (List.length (parse_list_exn l))
+  | _ -> wrong_args "llength list"
+
+let cmd_lrange _t = function
+  | [ _; l; first; last ] ->
+    let elements = parse_list_exn l in
+    let n = List.length elements in
+    let first = max 0 (parse_index n first) in
+    let last = min (n - 1) (parse_index n last) in
+    if first > last then ""
+    else
+      Tcl_list.format
+        (List.filteri (fun i _ -> i >= first && i <= last) elements)
+  | _ -> wrong_args "lrange list first last"
+
+let cmd_lappend t = function
+  | _ :: name :: values ->
+    let current = Option.value (get_var t name) ~default:"" in
+    let v =
+      if current = "" then Tcl_list.format values
+      else current ^ " " ^ Tcl_list.format values
+    in
+    set_var t name v;
+    v
+  | _ -> wrong_args "lappend varName ?value value ...?"
+
+let cmd_linsert _t = function
+  | _ :: l :: idx :: (_ :: _ as values) ->
+    let elements = parse_list_exn l in
+    let n = List.length elements in
+    let i = min (max 0 (parse_index n idx)) n in
+    let before = List.filteri (fun j _ -> j < i) elements in
+    let after = List.filteri (fun j _ -> j >= i) elements in
+    Tcl_list.format (before @ values @ after)
+  | _ -> wrong_args "linsert list index element ?element ...?"
+
+let cmd_lreplace _t = function
+  | _ :: l :: first :: last :: values ->
+    let elements = parse_list_exn l in
+    let n = List.length elements in
+    let first = max 0 (parse_index n first) in
+    let last = min (n - 1) (parse_index n last) in
+    let before = List.filteri (fun j _ -> j < first) elements in
+    let after = List.filteri (fun j _ -> j > last && j >= first) elements in
+    Tcl_list.format (before @ values @ after)
+  | _ -> wrong_args "lreplace list first last ?element element ...?"
+
+let cmd_lsearch _t words =
+  let mode, l, pattern =
+    match words with
+    | [ _; l; pattern ] -> (`Glob, l, pattern)
+    | [ _; "-exact"; l; pattern ] -> (`Exact, l, pattern)
+    | [ _; "-glob"; l; pattern ] -> (`Glob, l, pattern)
+    | _ -> wrong_args "lsearch ?-exact|-glob? list pattern"
+  in
+  let matches e =
+    match mode with
+    | `Exact -> e = pattern
+    | `Glob -> Glob.matches ~pattern e
+  in
+  let elements = parse_list_exn l in
+  let rec find i = function
+    | [] -> -1
+    | e :: rest -> if matches e then i else find (i + 1) rest
+  in
+  string_of_int (find 0 elements)
+
+let cmd_lsort _t words =
+  let compare_by mode a b =
+    match mode with
+    | `Ascii -> String.compare a b
+    | `Integer ->
+      compare
+        (match int_of_string_opt (String.trim a) with
+        | Some i -> i
+        | None -> failf "expected integer but got \"%s\"" a)
+        (match int_of_string_opt (String.trim b) with
+        | Some i -> i
+        | None -> failf "expected integer but got \"%s\"" b)
+    | `Real ->
+      compare
+        (match float_of_string_opt (String.trim a) with
+        | Some f -> f
+        | None -> failf "expected floating-point number but got \"%s\"" a)
+        (match float_of_string_opt (String.trim b) with
+        | Some f -> f
+        | None -> failf "expected floating-point number but got \"%s\"" b)
+  in
+  let rec parse_opts mode direction = function
+    | [ l ] ->
+      let cmp a b =
+        let c = compare_by mode a b in
+        match direction with `Incr -> c | `Decr -> -c
+      in
+      Tcl_list.format (List.stable_sort cmp (parse_list_exn l))
+    | "-integer" :: rest -> parse_opts `Integer direction rest
+    | "-real" :: rest -> parse_opts `Real direction rest
+    | "-ascii" :: rest -> parse_opts `Ascii direction rest
+    | "-increasing" :: rest -> parse_opts mode `Incr rest
+    | "-decreasing" :: rest -> parse_opts mode `Decr rest
+    | _ -> wrong_args "lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list"
+  in
+  parse_opts `Ascii `Incr (List.tl words)
+
+(* concat trims each argument and joins with single spaces, dropping empty
+   arguments. *)
+let cmd_concat _t = function
+  | _ :: args ->
+    String.concat " "
+      (List.filter (fun s -> s <> "") (List.map String.trim args))
+  | [] -> assert false
+
+let cmd_split _t words =
+  let split_on_chars chars s =
+    if chars = "" then
+      List.init (String.length s) (fun i -> String.make 1 s.[i])
+    else begin
+      let out = ref [] in
+      let buf = Buffer.create 16 in
+      String.iter
+        (fun c ->
+          if String.contains chars c then begin
+            out := Buffer.contents buf :: !out;
+            Buffer.clear buf
+          end
+          else Buffer.add_char buf c)
+        s;
+      List.rev (Buffer.contents buf :: !out)
+    end
+  in
+  match words with
+  | [ _; s ] -> Tcl_list.format (split_on_chars " \t\n\r" s)
+  | [ _; s; chars ] -> Tcl_list.format (split_on_chars chars s)
+  | _ -> wrong_args "split string ?splitChars?"
+
+let cmd_join _t = function
+  | [ _; l ] -> String.concat " " (parse_list_exn l)
+  | [ _; l; sep ] -> String.concat sep (parse_list_exn l)
+  | _ -> wrong_args "join list ?joinString?"
+
+let install t =
+  register_value t "list" cmd_list;
+  register_value t "lindex" cmd_lindex;
+  register_value t "llength" cmd_llength;
+  register_value t "lrange" cmd_lrange;
+  register_value t "lappend" cmd_lappend;
+  register_value t "linsert" cmd_linsert;
+  register_value t "lreplace" cmd_lreplace;
+  register_value t "lsearch" cmd_lsearch;
+  register_value t "lsort" cmd_lsort;
+  register_value t "concat" cmd_concat;
+  register_value t "split" cmd_split;
+  register_value t "join" cmd_join;
+  (* Tcl-1990 aliases used by the paper's scripts. *)
+  register_value t "index" cmd_lindex;
+  register_value t "range" cmd_lrange;
+  register_value t "length" cmd_llength

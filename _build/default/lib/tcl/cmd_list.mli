@@ -1,0 +1,6 @@
+(** List built-ins: [list], [lindex], [llength], [lrange], [lappend],
+    [linsert], [lreplace], [lsearch], [lsort], [concat], [split], [join],
+    plus the Tcl-1990 era aliases [index], [range] and [length] used by the
+    paper's Figure 9 browser script. *)
+
+val install : Interp.t -> unit

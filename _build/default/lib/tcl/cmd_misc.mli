@@ -1,0 +1,6 @@
+(** Remaining Tcl-6-era commands: [case] (glob-style multiway branch, the
+    pre-[switch] construct), the [array] ensemble ([exists], [names],
+    [size]) and [history] ([event], [nextid], [redo] over the events
+    recorded by the hosting shell). *)
+
+val install : Interp.t -> unit

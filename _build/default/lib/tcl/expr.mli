@@ -1,0 +1,39 @@
+(** Tcl arithmetic expressions, as used by the [expr] command and the
+    conditions of [if], [while] and [for].
+
+    The evaluator performs its own [$]-variable and [\[...\]]-command
+    substitution (so braced conditions like [{$i < 10}] work), delegating to
+    the callbacks in {!env}. Operands are integers, floats or strings, with
+    Tcl's coercion rules: an operator computes numerically when both
+    operands parse as numbers, and string comparison otherwise (ordering and
+    (in)equality only). *)
+
+type value = Int of int | Float of float | Str of string
+
+type env = {
+  get_var : string -> string;
+      (** Resolve [$name] (or [$name(index)]); raise {!Error} if unset. *)
+  eval_cmd : string -> string;
+      (** Evaluate a bracketed command substitution; raise {!Error} on
+          script error. *)
+}
+
+exception Error of string
+
+val eval : env -> string -> value
+(** Evaluate an expression. @raise Error on syntax or type errors. *)
+
+val eval_string : env -> string -> string
+(** {!eval} rendered back to Tcl's string form (integers without a decimal
+    point, floats via [%g]-style formatting). *)
+
+val eval_bool : env -> string -> bool
+(** Evaluate as a condition: numeric values are tested against zero, and
+    the words true/false/yes/no/on/off are accepted. @raise Error
+    otherwise. *)
+
+val to_string : value -> string
+
+val number_of_string : string -> value option
+(** Parse a string as [Int] or [Float] if possible ([None] otherwise).
+    Exposed for the [lsort -integer] style commands. *)

@@ -1,0 +1,44 @@
+(* Straightforward backtracking matcher; patterns are short in practice. *)
+
+let matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* [set_matches j c] checks char [c] against the set starting after the
+     '[' at index [j]; returns the index one past the closing ']' and the
+     match outcome. A missing ']' treats the rest of the pattern as the
+     set. *)
+  let set_matches j c =
+    let rec scan j found =
+      if j >= np then (j, found)
+      else if pattern.[j] = ']' then (j + 1, found)
+      else if j + 2 < np && pattern.[j + 1] = '-' && pattern.[j + 2] <> ']'
+      then
+        let ok = c >= pattern.[j] && c <= pattern.[j + 2] in
+        scan (j + 3) (found || ok)
+      else scan (j + 1) (found || pattern.[j] = c)
+    in
+    scan j false
+  in
+  let rec go p i =
+    if p >= np then i >= ns
+    else
+      match pattern.[p] with
+      | '*' ->
+        (* Collapse consecutive stars, then try every suffix. *)
+        let p = ref p in
+        while !p < np && pattern.[!p] = '*' do
+          incr p
+        done;
+        if !p >= np then true
+        else
+          let rec try_from i = if i > ns then false else go !p i || try_from (i + 1) in
+          try_from i
+      | '?' -> i < ns && go (p + 1) (i + 1)
+      | '[' ->
+        i < ns
+        &&
+        let next, ok = set_matches (p + 1) s.[i] in
+        ok && go next (i + 1)
+      | '\\' when p + 1 < np -> i < ns && s.[i] = pattern.[p + 1] && go (p + 2) (i + 1)
+      | c -> i < ns && s.[i] = c && go (p + 1) (i + 1)
+  in
+  go 0 0

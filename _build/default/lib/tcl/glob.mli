@@ -1,0 +1,9 @@
+(** Glob-style pattern matching, as used by Tcl's [string match], [lsearch]
+    and the Tk option database.
+
+    Pattern syntax: [*] matches any sequence (possibly empty), [?] matches
+    any single character, [\[a-z\]] matches a character range or set, and a
+    backslash quotes the following character. *)
+
+val matches : pattern:string -> string -> bool
+(** [matches ~pattern s] is [true] iff [s] matches [pattern] in full. *)

@@ -1,0 +1,674 @@
+type status = Tcl_ok | Tcl_error | Tcl_return | Tcl_break | Tcl_continue
+
+type result = status * string
+
+exception Tcl_failure of string
+
+(* Used inside word parsing to abort the whole command with a given
+   completion status (e.g. an error in a [$var] or [\[cmd\]] substitution). *)
+exception Propagate of status * string
+
+let failf fmt = Format.kasprintf (fun msg -> raise (Tcl_failure msg)) fmt
+
+let wrong_args usage = failf "wrong # args: should be \"%s\"" usage
+
+let ok v = (Tcl_ok, v)
+
+type slot =
+  | Scalar of string
+  | Array_var of (string, string) Hashtbl.t
+  | Link of frame * string
+
+and frame = { vars : (string, slot) Hashtbl.t }
+
+type t = {
+  commands : (string, cmd_def) Hashtbl.t;
+  global_frame : frame;
+  mutable stack : frame list; (* non-global frames, innermost first *)
+  mutable depth : int; (* current eval nesting, for runaway recursion *)
+  mutable cmd_count : int;
+  mutable out : string -> unit;
+  mutable error_in_progress : bool;
+      (* an error is unwinding: errorInfo accumulates context lines *)
+  mutable history_recording : bool;
+  mutable history : (int * string) list; (* newest first *)
+  mutable history_next : int;
+}
+
+and command = t -> string list -> result
+
+and cmd_def =
+  | Builtin of command
+  | Proc of { formals : (string * string option) list; body : string }
+
+let max_nesting = 1000
+
+let new_frame () = { vars = Hashtbl.create 16 }
+
+let create () =
+  {
+    commands = Hashtbl.create 64;
+    global_frame = new_frame ();
+    stack = [];
+    depth = 0;
+    cmd_count = 0;
+    out = print_string;
+    error_in_progress = false;
+    history_recording = false;
+    history = [];
+    history_next = 1;
+  }
+
+let current_frame t =
+  match t.stack with [] -> t.global_frame | f :: _ -> f
+
+let current_level t = List.length t.stack
+
+(* Frame at absolute level: 0 = global, [current_level] = innermost. *)
+let frame_at t level =
+  let cur = current_level t in
+  if level < 0 || level > cur then None
+  else if level = 0 then Some t.global_frame
+  else List.nth_opt t.stack (cur - level)
+
+let parse_level t spec =
+  let cur = current_level t in
+  let abs =
+    if String.length spec > 0 && spec.[0] = '#' then
+      int_of_string_opt (String.sub spec 1 (String.length spec - 1))
+    else
+      match int_of_string_opt spec with
+      | Some d -> Some (cur - d)
+      | None -> None
+  in
+  match abs with
+  | Some l when l >= 0 && l <= cur -> Some l
+  | _ -> None
+
+let with_level t level thunk =
+  let saved = t.stack in
+  let cur = current_level t in
+  if level < 0 || level > cur then failf "bad level %d" level;
+  t.stack <-
+    (if level = 0 then []
+     else
+       (* Drop the innermost (cur - level) frames. *)
+       let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+       drop (cur - level) saved);
+  Fun.protect ~finally:(fun () -> t.stack <- saved) thunk
+
+(* ------------------------------------------------------------------ *)
+(* Variables *)
+
+(* Split "a(i)" into (base, Some index). *)
+let split_array_name name =
+  let n = String.length name in
+  if n > 1 && name.[n - 1] = ')' then
+    match String.index_opt name '(' with
+    | Some i when i > 0 -> Some (String.sub name 0 i, String.sub name (i + 1) (n - i - 2))
+    | _ -> None
+  else None
+
+(* Follow upvar links to the frame/name that actually stores the value.
+   A link's target may itself be an array element ("upvar a(k) v"), so the
+   resolved name is re-examined for array syntax by the callers. *)
+let rec resolve frame name =
+  match split_array_name name with
+  | Some _ -> (frame, name) (* array refs resolve their base separately *)
+  | None -> (
+    match Hashtbl.find_opt frame.vars name with
+    | Some (Link (f, n)) -> resolve f n
+    | _ -> (frame, name))
+
+let rec get_var_in frame name =
+  let frame, name = resolve frame name in
+  match split_array_name name with
+  | Some (base, idx) -> (
+    let bframe, base = resolve frame base in
+    match Hashtbl.find_opt bframe.vars base with
+    | Some (Array_var h) -> Hashtbl.find_opt h idx
+    | _ -> None)
+  | None -> (
+    match Hashtbl.find_opt frame.vars name with
+    | Some (Scalar v) -> Some v
+    | Some (Link (f, n)) -> get_var_in f n
+    | Some (Array_var _) | None -> None)
+
+let get_var t name = get_var_in (current_frame t) name
+
+let get_var_exn t name =
+  match get_var t name with
+  | Some v -> v
+  | None -> failf "can't read \"%s\": no such variable" name
+
+let set_var t name value =
+  let frame, name = resolve (current_frame t) name in
+  match split_array_name name with
+  | Some (base, idx) -> (
+    let frame, base = resolve frame base in
+    match Hashtbl.find_opt frame.vars base with
+    | Some (Array_var h) -> Hashtbl.replace h idx value
+    | Some (Scalar _) ->
+      failf "can't set \"%s\": variable isn't array" name
+    | Some (Link _) | None ->
+      let h = Hashtbl.create 8 in
+      Hashtbl.replace h idx value;
+      Hashtbl.replace frame.vars base (Array_var h))
+  | None -> (
+    match Hashtbl.find_opt frame.vars name with
+    | Some (Array_var _) -> failf "can't set \"%s\": variable is array" name
+    | Some (Scalar _) | Some (Link _) | None ->
+      Hashtbl.replace frame.vars name (Scalar value))
+
+let unset_var t name =
+  let frame = current_frame t in
+  match split_array_name name with
+  | Some (base, idx) -> (
+    let frame, base = resolve frame base in
+    match Hashtbl.find_opt frame.vars base with
+    | Some (Array_var h) when Hashtbl.mem h idx ->
+      Hashtbl.remove h idx;
+      true
+    | _ -> false)
+  | None when (match Hashtbl.find_opt frame.vars name with
+              | Some (Link _) -> (
+                match resolve frame name with
+                | _, resolved -> split_array_name resolved <> None)
+              | _ -> false) ->
+    (* A link to an array element: unset the element, drop the link. *)
+    let tframe, target = resolve frame name in
+    Hashtbl.remove frame.vars name;
+    (match split_array_name target with
+    | Some (base, idx) -> (
+      let bframe, base = resolve tframe base in
+      match Hashtbl.find_opt bframe.vars base with
+      | Some (Array_var h) -> Hashtbl.remove h idx
+      | _ -> ())
+    | None -> ());
+    true
+  | None ->
+    (* Remove the link itself if the local name is a link; otherwise remove
+       the resolved variable. *)
+    if Hashtbl.mem frame.vars name then begin
+      (match Hashtbl.find_opt frame.vars name with
+      | Some (Link (f, n)) ->
+        Hashtbl.remove frame.vars name;
+        let f, n = resolve f n in
+        Hashtbl.remove f.vars n
+      | Some _ -> Hashtbl.remove frame.vars name
+      | None -> ());
+      true
+    end
+    else false
+
+let var_names t ~local ~global =
+  let collect frame =
+    Hashtbl.fold (fun k _ acc -> k :: acc) frame.vars []
+  in
+  let locals = if local then collect (current_frame t) else [] in
+  let globals = if global then collect t.global_frame else [] in
+  List.sort_uniq String.compare (locals @ globals)
+
+let array_names t name =
+  let frame, name = resolve (current_frame t) name in
+  match Hashtbl.find_opt frame.vars name with
+  | Some (Array_var h) ->
+    Some (List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h []))
+  | _ -> None
+
+let link_var t ~target_level ~target ~local =
+  match frame_at t target_level with
+  | None -> failf "bad level \"#%d\"" target_level
+  | Some target_frame ->
+    let frame = current_frame t in
+    if frame == target_frame && target = local then ()
+    else Hashtbl.replace frame.vars local (Link (target_frame, target))
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let register t name cmd = Hashtbl.replace t.commands name (Builtin cmd)
+
+let register_value t name f =
+  register t name (fun t words -> ok (f t words))
+
+let define_proc t name formals body =
+  Hashtbl.replace t.commands name (Proc { formals; body })
+
+let proc_info t name =
+  match Hashtbl.find_opt t.commands name with
+  | Some (Proc { formals; body }) -> Some (formals, body)
+  | _ -> None
+
+let delete_command t name =
+  if Hashtbl.mem t.commands name then begin
+    Hashtbl.remove t.commands name;
+    true
+  end
+  else false
+
+let rename_command t old_name new_name =
+  match Hashtbl.find_opt t.commands old_name with
+  | None ->
+    Stdlib.Error
+      (Printf.sprintf "can't rename \"%s\": command doesn't exist" old_name)
+  | Some def ->
+    Hashtbl.remove t.commands old_name;
+    if new_name <> "" then Hashtbl.replace t.commands new_name def;
+    Stdlib.Ok ()
+
+let command_exists t name = Hashtbl.mem t.commands name
+
+let command_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.commands [])
+
+let proc_names t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun k def acc -> match def with Proc _ -> k :: acc | Builtin _ -> acc)
+       t.commands [])
+
+let set_output t f = t.out <- f
+
+let mark_error_handled t = t.error_in_progress <- false
+
+let history_limit = 100
+
+let set_history_recording t flag = t.history_recording <- flag
+
+let record_history_event t script =
+  if t.history_recording && String.trim script <> "" then begin
+    t.history <- (t.history_next, script) :: t.history;
+    t.history_next <- t.history_next + 1;
+    (* Keep a bounded window, like Tcl's "history keep". *)
+    if List.length t.history > history_limit then
+      t.history <- List.filteri (fun i _ -> i < history_limit) t.history
+  end
+
+let history_events t = List.rev t.history
+
+let history_event t n = List.assoc_opt n t.history
+
+(* errorInfo lives in the global frame, like in real Tcl. *)
+let set_error_info t text =
+  Hashtbl.replace t.global_frame.vars "errorInfo" (Scalar text)
+
+let get_error_info t =
+  match Hashtbl.find_opt t.global_frame.vars "errorInfo" with
+  | Some (Scalar v) -> v
+  | _ -> ""
+
+(* Record one level of error context: the command whose evaluation
+   produced (or propagated) the error. *)
+let trace_error t ~command msg =
+  let command =
+    let c = String.trim command in
+    if String.length c > 150 then String.sub c 0 147 ^ "..." else c
+  in
+  if not t.error_in_progress then begin
+    t.error_in_progress <- true;
+    set_error_info t msg
+  end;
+  set_error_info t
+    (get_error_info t ^ "\n    while executing\n\"" ^ command ^ "\"")
+
+let output t s = t.out s
+
+let command_count t = t.cmd_count
+
+(* ------------------------------------------------------------------ *)
+(* Parser / evaluator *)
+
+let is_sep c = Chars.is_space c
+
+let rec skip_separators src n pos =
+  if pos < n && (is_sep src.[pos] || src.[pos] = '\n' || src.[pos] = ';')
+  then skip_separators src n (pos + 1)
+  else pos
+
+let skip_comment src n pos =
+  (* [pos] points at '#': skip to an unescaped newline. *)
+  let rec go i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '\\' -> go (i + 2)
+      | '\n' -> i + 1
+      | _ -> go (i + 1)
+  in
+  go pos
+
+(* Evaluate [src] starting at [pos]. In [bracket] mode, evaluation stops at
+   the first unmatched ']' (command substitution); the returned position is
+   just after it. Returns (status, value, next position). *)
+let rec eval_in t src pos ~bracket =
+  let n = String.length src in
+  if t.depth = 0 then t.error_in_progress <- false;
+  if t.depth > max_nesting then
+    (Tcl_error, "too many nested calls to eval (infinite loop?)", n)
+  else begin
+    t.depth <- t.depth + 1;
+    let finally () = t.depth <- t.depth - 1 in
+    match eval_loop t src n pos ~bracket (Tcl_ok, "") with
+    | res ->
+      finally ();
+      res
+    | exception e ->
+      finally ();
+      raise e
+  end
+
+and eval_loop t src n pos ~bracket last =
+  let pos = skip_separators src n pos in
+  if pos >= n then
+    let status, v = last in
+    (status, v, pos)
+  else if bracket && src.[pos] = ']' then
+    let status, v = last in
+    (status, v, pos + 1)
+  else if src.[pos] = '#' then
+    eval_loop t src n (skip_comment src n pos) ~bracket last
+  else
+    match parse_and_run t src n pos ~bracket with
+    | Tcl_ok, v, next -> eval_loop t src n next ~bracket (Tcl_ok, v)
+    | (status, v, next) -> (status, v, next)
+
+(* Parse the words of one command (performing substitutions), then invoke
+   it. *)
+and parse_and_run t src n pos ~bracket =
+  match parse_words t src n pos ~bracket [] with
+  | exception Propagate (status, v) -> (status, v, n)
+  | exception Tcl_failure msg ->
+    if not t.error_in_progress then begin
+      t.error_in_progress <- true;
+      set_error_info t msg
+    end;
+    (Tcl_error, msg, n)
+  | words, next ->
+    if words = [] then (Tcl_ok, "", next)
+    else
+      let status, v = invoke t words in
+      (if status = Tcl_error then
+         let stop = min next n in
+         trace_error t ~command:(String.sub src pos (stop - pos)) v);
+      (status, v, next)
+
+and parse_words t src n pos ~bracket acc =
+  let pos = ref pos in
+  (* Skip word separators; a backslash-newline counts as one. *)
+  let rec skip () =
+    if !pos < n && is_sep src.[!pos] then begin
+      incr pos;
+      skip ()
+    end
+    else if !pos + 1 < n && src.[!pos] = '\\' && src.[!pos + 1] = '\n' then begin
+      let _, j = Chars.backslash_subst src !pos in
+      pos := j;
+      skip ()
+    end
+  in
+  skip ();
+  if
+    !pos >= n
+    || src.[!pos] = '\n'
+    || src.[!pos] = ';'
+    || (bracket && src.[!pos] = ']')
+  then begin
+    (* Command terminator: consume a newline/semicolon, leave ']' for the
+       caller. *)
+    let next =
+      if !pos < n && (src.[!pos] = '\n' || src.[!pos] = ';') then !pos + 1
+      else !pos
+    in
+    (List.rev acc, next)
+  end
+  else
+    let word, next = parse_word t src n !pos in
+    parse_words t src n next ~bracket (word :: acc)
+
+and parse_word t src n pos =
+  if src.[pos] = '{' then begin
+    match Chars.find_matching_brace src pos with
+    | None -> raise (Tcl_failure "missing close-brace")
+    | Some j ->
+      check_word_end src n (j + 1);
+      (braced_content src pos j, j + 1)
+  end
+  else if src.[pos] = '"' then begin
+    let buf = Buffer.create 16 in
+    let next = substitute_until t src n (pos + 1) ~stop_quote:true buf in
+    check_word_end src n next;
+    (Buffer.contents buf, next)
+  end
+  else begin
+    let buf = Buffer.create 16 in
+    let next = substitute_until t src n pos ~stop_quote:false buf in
+    (Buffer.contents buf, next)
+  end
+
+(* Content of a braced word: taken literally except that backslash-newline
+   is still replaced by a space (as in Tcl). *)
+and braced_content src open_idx close_idx =
+  let raw = String.sub src (open_idx + 1) (close_idx - open_idx - 1) in
+  if not (String.length raw > 0 && String.contains raw '\\') then raw
+  else begin
+    let buf = Buffer.create (String.length raw) in
+    let n = String.length raw in
+    let i = ref 0 in
+    while !i < n do
+      if raw.[!i] = '\\' && !i + 1 < n && raw.[!i + 1] = '\n' then begin
+        let repl, j = Chars.backslash_subst raw !i in
+        Buffer.add_string buf repl;
+        i := j
+      end
+      else begin
+        Buffer.add_char buf raw.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+and check_word_end src n pos =
+  if
+    pos < n
+    && (not (is_sep src.[pos]))
+    && src.[pos] <> '\n'
+    && src.[pos] <> ';'
+    && src.[pos] <> ']'
+  then
+    raise
+      (Tcl_failure "extra characters after close-brace or close-quote")
+
+(* Scan a word (or the inside of a quoted word), appending substituted text
+   to [buf]. Returns the position just after the word. *)
+and substitute_until t src n pos ~stop_quote buf =
+  if pos >= n then
+    if stop_quote then raise (Tcl_failure "missing close quote") else pos
+  else
+    let c = src.[pos] in
+    if stop_quote && c = '"' then pos + 1
+    else if
+      (not stop_quote) && (is_sep c || c = '\n' || c = ';' || c = ']')
+    then pos
+    else
+      match c with
+      | '\\' when (not stop_quote) && pos + 1 < n && src.[pos + 1] = '\n' ->
+        (* Backslash-newline terminates a bare word (it acts as a word
+           separator). *)
+        pos
+      | '\\' ->
+        let repl, j = Chars.backslash_subst src pos in
+        Buffer.add_string buf repl;
+        substitute_until t src n j ~stop_quote buf
+      | '$' ->
+        let j = substitute_variable t src n pos buf in
+        substitute_until t src n j ~stop_quote buf
+      | '[' -> (
+        match eval_in t src (pos + 1) ~bracket:true with
+        | Tcl_ok, v, j ->
+          Buffer.add_string buf v;
+          substitute_until t src n j ~stop_quote buf
+        | status, v, _ -> raise (Propagate (status, v)))
+      | c ->
+        Buffer.add_char buf c;
+        substitute_until t src n (pos + 1) ~stop_quote buf
+
+(* Substitute a $-variable reference starting at the '$'. Returns the
+   position after the reference. *)
+and substitute_variable t src n pos buf =
+  let start = pos + 1 in
+  if start < n && src.[start] = '{' then begin
+    match String.index_from_opt src start '}' with
+    | None -> raise (Tcl_failure "missing close-brace for variable name")
+    | Some j ->
+      let name = String.sub src (start + 1) (j - start - 1) in
+      Buffer.add_string buf (get_var_exn t name);
+      j + 1
+  end
+  else begin
+    let i = ref start in
+    while !i < n && Chars.is_var_char src.[!i] do
+      incr i
+    done;
+    if !i = start then begin
+      (* A lone '$' is literal. *)
+      Buffer.add_char buf '$';
+      start
+    end
+    else if !i < n && src.[!i] = '(' then begin
+      (* Array element: the index undergoes substitution itself. *)
+      let base = String.sub src start (!i - start) in
+      let idx_buf = Buffer.create 8 in
+      let j = substitute_index t src n (!i + 1) idx_buf in
+      let name = base ^ "(" ^ Buffer.contents idx_buf ^ ")" in
+      Buffer.add_string buf (get_var_exn t name);
+      j
+    end
+    else begin
+      let name = String.sub src start (!i - start) in
+      Buffer.add_string buf (get_var_exn t name);
+      !i
+    end
+  end
+
+and substitute_index t src n pos buf =
+  if pos >= n then raise (Tcl_failure "missing )")
+  else
+    match src.[pos] with
+    | ')' -> pos + 1
+    | '\\' ->
+      let repl, j = Chars.backslash_subst src pos in
+      Buffer.add_string buf repl;
+      substitute_index t src n j buf
+    | '$' ->
+      let j = substitute_variable t src n pos buf in
+      substitute_index t src n j buf
+    | '[' -> (
+      match eval_in t src (pos + 1) ~bracket:true with
+      | Tcl_ok, v, j ->
+        Buffer.add_string buf v;
+        substitute_index t src n j buf
+      | status, v, _ -> raise (Propagate (status, v)))
+    | c ->
+      Buffer.add_char buf c;
+      substitute_index t src n (pos + 1) buf
+
+(* Invoke one fully substituted command. *)
+and invoke t words =
+  match words with
+  | [] -> (Tcl_ok, "")
+  | name :: _ -> (
+    t.cmd_count <- t.cmd_count + 1;
+    match Hashtbl.find_opt t.commands name with
+    | Some (Builtin cmd) -> (
+      try cmd t words with
+      | Tcl_failure msg -> (Tcl_error, msg)
+      | Expr.Error msg -> (Tcl_error, msg))
+    | Some (Proc { formals; body }) -> call_proc t name formals body words
+    | None -> (
+      match Hashtbl.find_opt t.commands "unknown" with
+      | Some (Builtin cmd) -> (
+        try cmd t ("unknown" :: words) with
+        | Tcl_failure msg -> (Tcl_error, msg)
+        | Expr.Error msg -> (Tcl_error, msg))
+      | Some (Proc { formals; body }) ->
+        call_proc t "unknown" formals body ("unknown" :: words)
+      | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name)))
+
+and call_proc t name formals body words =
+  let frame = new_frame () in
+  let actuals = List.tl words in
+  (* Bind formals to actuals, handling defaults and the trailing "args". *)
+  let rec bind formals actuals =
+    match (formals, actuals) with
+    | [], [] -> None
+    | [], _ :: _ ->
+      Some (Printf.sprintf "called \"%s\" with too many arguments" name)
+    | [ ("args", _) ], rest ->
+      Hashtbl.replace frame.vars "args" (Scalar (Tcl_list.format rest));
+      None
+    | (formal, _) :: tl, v :: rest ->
+      Hashtbl.replace frame.vars formal (Scalar v);
+      bind tl rest
+    | (formal, Some default) :: tl, [] ->
+      Hashtbl.replace frame.vars formal (Scalar default);
+      bind tl []
+    | (formal, None) :: _, [] ->
+      Some
+        (Printf.sprintf "no value given for parameter \"%s\" to \"%s\""
+           formal name)
+  in
+  match bind formals actuals with
+  | Some msg -> (Tcl_error, msg)
+  | None ->
+    t.stack <- frame :: t.stack;
+    let status, v, _ =
+      Fun.protect
+        ~finally:(fun () -> t.stack <- List.tl t.stack)
+        (fun () -> eval_in t body 0 ~bracket:false)
+    in
+    (match status with
+    | Tcl_return | Tcl_ok -> (Tcl_ok, v)
+    | Tcl_break -> (Tcl_error, "invoked \"break\" outside of a loop")
+    | Tcl_continue -> (Tcl_error, "invoked \"continue\" outside of a loop")
+    | Tcl_error ->
+      (Tcl_error, Printf.sprintf "%s\n    (procedure \"%s\")" v name))
+
+let eval t src =
+  let status, v, _ = eval_in t src 0 ~bracket:false in
+  (status, v)
+
+let eval_value t src =
+  match eval t src with
+  | Tcl_ok, v -> Stdlib.Ok v
+  | Tcl_error, msg -> Stdlib.Error msg
+  | Tcl_return, _ -> Stdlib.Error "command returned \"return\" at top level"
+  | Tcl_break, _ -> Stdlib.Error "invoked \"break\" outside of a loop"
+  | Tcl_continue, _ ->
+    Stdlib.Error "invoked \"continue\" outside of a loop"
+
+let eval_words t words = invoke t words
+
+let expr_env t =
+  {
+    Expr.get_var =
+      (fun name ->
+        match get_var t name with
+        | Some v -> v
+        | None ->
+          raise
+            (Expr.Error
+               (Printf.sprintf "can't read \"%s\": no such variable" name)));
+    Expr.eval_cmd =
+      (fun script ->
+        match eval t script with
+        | Tcl_ok, v -> v
+        | _, msg -> raise (Expr.Error msg));
+  }
+
+let eval_expr_bool t cond =
+  match Expr.eval_bool (expr_env t) cond with
+  | b -> b
+  | exception Expr.Error msg -> raise (Tcl_failure msg)

@@ -1,0 +1,158 @@
+(** The Tcl interpreter core: parsing, substitution, command dispatch,
+    variables, call frames and procedures.
+
+    The evaluator implements the full syntax of the paper's Figures 1–5:
+    words separated by whitespace, commands separated by newlines or
+    semicolons, brace and double-quote grouping, [$]-variable substitution,
+    [\[...\]] command substitution and backslash escapes.
+
+    No commands are pre-registered except the dispatch to a user-defined
+    [unknown] handler; the built-in command set (including the structural
+    commands [proc], [if], [while], …) is installed by
+    {!Builtins.install}. *)
+
+type t
+(** An interpreter: command table, global and per-procedure variable
+    frames, and bookkeeping counters. *)
+
+(** Completion status of a script or command, mirroring Tcl's return
+    codes. *)
+type status = Tcl_ok | Tcl_error | Tcl_return | Tcl_break | Tcl_continue
+
+type result = status * string
+(** Every evaluation yields a status plus a string value (the result on
+    [Tcl_ok], the error message on [Tcl_error]). *)
+
+type command = t -> string list -> result
+(** A command procedure. It receives the full word list, including the
+    command name as head, exactly as in the paper's Figure 6. *)
+
+exception Tcl_failure of string
+(** Command procedures may raise this to report an error; the evaluator
+    converts it to a [Tcl_error] result. *)
+
+val failf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Tcl_failure} with a formatted message. *)
+
+val wrong_args : string -> 'a
+(** [wrong_args usage] raises the standard
+    ["wrong # args: should be \"usage\""] error. *)
+
+val ok : string -> result
+(** [(Tcl_ok, value)]. *)
+
+val create : unit -> t
+(** A bare interpreter with no commands registered (see
+    {!Builtins.install} / {!Builtins.new_interp}). *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> string -> result
+(** Evaluate a script: execute its commands in sequence and return the
+    result of the last one, or the first non-[Tcl_ok] completion. *)
+
+val eval_value : t -> string -> (string, string) Stdlib.result
+(** Like {!eval}, mapping [Tcl_ok] to [Ok] and everything else to [Error]
+    (with break/continue/return reported as errors, as at top level). *)
+
+val eval_words : t -> string list -> result
+(** Invoke a single command from already-substituted words. *)
+
+val expr_env : t -> Expr.env
+(** The variable/command hooks that connect {!Expr} to this interpreter. *)
+
+val eval_expr_bool : t -> string -> bool
+(** Evaluate a condition string. @raise Tcl_failure on expression errors. *)
+
+(** {1 Variables} *)
+
+val get_var : t -> string -> string option
+(** Look up a variable in the current frame. Names of the form
+    [name(index)] address array elements. *)
+
+val get_var_exn : t -> string -> string
+(** @raise Tcl_failure with Tcl's "can't read ..." message. *)
+
+val set_var : t -> string -> string -> unit
+val unset_var : t -> string -> bool
+
+val var_names : t -> local:bool -> global:bool -> string list
+(** Visible variable names: local frame, global frame, or both. *)
+
+val array_names : t -> string -> string list option
+(** Index names of an array variable, or [None] if not an array. *)
+
+(** {1 Frames} *)
+
+val current_level : t -> int
+(** 0 at global scope, +1 per active procedure call. *)
+
+val parse_level : t -> string -> int option
+(** Parse a level argument as used by [uplevel]/[upvar]: ["#n"] is absolute,
+    a plain number is relative to the current frame. *)
+
+val with_level : t -> int -> (unit -> 'a) -> 'a
+(** Run a thunk with the variable stack temporarily truncated so that the
+    frame at [level] is current ([uplevel]). *)
+
+val link_var : t -> target_level:int -> target:string -> local:string -> unit
+(** Make variable [local] in the current frame an alias for [target] in the
+    frame at absolute [target_level] ([upvar]/[global]). *)
+
+(** {1 Commands} *)
+
+val register : t -> string -> command -> unit
+(** Define (or replace) a built-in command. *)
+
+val register_value : t -> string -> (t -> string list -> string) -> unit
+(** Convenience wrapper: the function returns the result value directly and
+    signals errors by raising {!Tcl_failure}. *)
+
+val define_proc :
+  t -> string -> (string * string option) list -> string -> unit
+(** Define a Tcl procedure: formal parameters (with optional defaults; a
+    trailing ["args"] collects the remainder) and a body script. *)
+
+val proc_info : t -> string -> ((string * string option) list * string) option
+(** Formals and body of a procedure, for [info args]/[info body]. *)
+
+val delete_command : t -> string -> bool
+val rename_command : t -> string -> string -> (unit, string) Stdlib.result
+val command_exists : t -> string -> bool
+val command_names : t -> string list
+val proc_names : t -> string list
+
+(** {1 Environment hooks} *)
+
+val set_output : t -> (string -> unit) -> unit
+(** Redirect the [print]/[puts] stream (default: standard output). *)
+
+(** {1 Command history}
+
+    When recording is enabled (wish's interactive loop turns it on), each
+    top-level script evaluated is remembered for the [history] command. *)
+
+val set_history_recording : t -> bool -> unit
+val record_history_event : t -> string -> unit
+val history_events : t -> (int * string) list
+(** Oldest first, numbered from 1. *)
+
+val history_event : t -> int -> string option
+
+val output : t -> string -> unit
+
+val command_count : t -> int
+(** Total number of commands executed ([info cmdcount]). *)
+
+(** {1 Error tracing}
+
+    When an error unwinds, the global variable [errorInfo] accumulates a
+    stack trace ("while executing ..." lines), as in real Tcl. *)
+
+val mark_error_handled : t -> unit
+(** Tell the interpreter the current error has been caught ([catch] calls
+    this), so the next error starts a fresh [errorInfo]. *)
+
+val trace_error : t -> command:string -> string -> unit
+(** Append one level of error context (used by the evaluator; exposed for
+    host applications that run callbacks, like Tk's binding engine). *)

@@ -1,0 +1,31 @@
+(** Tcl lists: strings whose elements are separated by whitespace, with
+    braces, double quotes and backslashes providing grouping and quoting.
+
+    Every Tcl value is a string; these functions convert between the string
+    form of a list and its elements, preserving the invariant that
+    [parse (format l) = Ok l] for any element list [l]. *)
+
+val parse : string -> (string list, string) result
+(** Split a string into list elements. Errors on unbalanced braces or
+    unmatched quotes, mirroring Tcl's "unmatched open brace in list". *)
+
+val parse_exn : string -> string list
+(** Like {!parse} but raises [Failure]. *)
+
+val quote_element : string -> string
+(** Quote a single element so it can be embedded in a list string. Uses the
+    bare form when possible, brace-quoting for strings containing special
+    characters, and backslash-quoting when braces are unbalanced. *)
+
+val format : string list -> string
+(** Build the string form of a list from its elements. *)
+
+val index : string -> int -> (string, string) result
+(** [index l i] is element [i] (0-based) of list [l]; out-of-range indices
+    yield the empty string, as in Tcl. *)
+
+val length : string -> (int, string) result
+
+val range : string -> int -> int -> (string, string) result
+(** [range l first last] is the sublist from [first] to [last] inclusive;
+    [last] may be the magic value [max_int] meaning "end". *)

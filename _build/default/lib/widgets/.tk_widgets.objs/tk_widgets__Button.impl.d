@@ -1,0 +1,1 @@
+lib/widgets/button.ml: Event Font Geom Hashtbl Server Tcl Tk Wutil Xsim

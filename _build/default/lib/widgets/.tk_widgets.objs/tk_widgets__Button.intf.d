@@ -1,0 +1,1 @@
+lib/widgets/button.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/canvas.ml: Array Geom List Server String Tcl Tk Wutil Xsim

@@ -1,0 +1,1 @@
+lib/widgets/canvas.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/entry.ml: Event Font Server String Tcl Tk Wutil Xsim

@@ -1,0 +1,1 @@
+lib/widgets/entry.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/frame.ml: Tk Wutil

@@ -1,0 +1,1 @@
+lib/widgets/frame.mli: Tk

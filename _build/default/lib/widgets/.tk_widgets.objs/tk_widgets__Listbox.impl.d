@@ -1,0 +1,1 @@
+lib/widgets/listbox.ml: Array Event Font Geom List Printf Server String Tcl Tk Wutil Xsim

@@ -1,0 +1,1 @@
+lib/widgets/listbox.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/menu.ml: Event Font Geom List Server Tcl Tk Wutil Xsim

@@ -1,0 +1,1 @@
+lib/widgets/menu.mli: Tk

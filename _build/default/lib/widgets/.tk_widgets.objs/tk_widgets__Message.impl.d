@@ -1,0 +1,1 @@
+lib/widgets/message.ml: Font List Server String Tk Wutil Xsim

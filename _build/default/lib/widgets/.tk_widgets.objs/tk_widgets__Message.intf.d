@@ -1,0 +1,1 @@
+lib/widgets/message.mli: Tk Xsim

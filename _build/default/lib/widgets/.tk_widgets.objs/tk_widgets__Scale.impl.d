@@ -1,0 +1,1 @@
+lib/widgets/scale.ml: Event Font Geom Printf Server Tcl Tk Wutil Xsim

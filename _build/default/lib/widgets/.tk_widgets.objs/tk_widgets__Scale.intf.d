@@ -1,0 +1,1 @@
+lib/widgets/scale.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/scrollbar.ml: Event Geom List Server Tcl Tk Wutil Xsim

@@ -1,0 +1,1 @@
+lib/widgets/scrollbar.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/text.ml: Array Buffer Event Font Geom List Printf Server String Tcl Tk Wutil Xsim

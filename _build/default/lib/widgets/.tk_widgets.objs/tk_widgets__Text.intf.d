@@ -1,0 +1,1 @@
+lib/widgets/text.mli: Tk

@@ -1,0 +1,1 @@
+lib/widgets/tk_widgets_lib.ml: Button Canvas Entry Frame Listbox Menu Message Scale Scrollbar Text Tk

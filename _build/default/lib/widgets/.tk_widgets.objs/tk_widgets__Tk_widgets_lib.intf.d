@@ -1,0 +1,1 @@
+lib/widgets/tk_widgets_lib.mli: Tk Xsim

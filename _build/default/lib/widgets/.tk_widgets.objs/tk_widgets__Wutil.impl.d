@@ -1,0 +1,1 @@
+lib/widgets/wutil.ml: Font Gcontext Geom List Option Printf Server String Tcl Tk Xsim

@@ -1,0 +1,1 @@
+lib/widgets/wutil.mli: Font Tk Xsim

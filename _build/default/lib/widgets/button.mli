@@ -1,0 +1,16 @@
+(** Labels, buttons, check buttons and radio buttons — one file implements
+    all four, as the paper's Table I notes for Tk.
+
+    A button displays a string and executes its [-command] Tcl script when
+    mouse button 1 is clicked over it (paper §4). Check buttons toggle a
+    Tcl variable between 0 and 1; radio buttons set a shared variable to
+    their [-value], deselecting the others automatically. Widget commands:
+    [flash], [invoke], [activate], [deactivate], and for the selecting
+    variants [select], [deselect] and [toggle]. *)
+
+val install : Tk.Core.app -> unit
+(** Register the [label], [button], [checkbutton] and [radiobutton]
+    creation commands. *)
+
+val flash_count : Tk.Core.widget -> int
+(** How many times a widget has flashed (exposed for tests). *)

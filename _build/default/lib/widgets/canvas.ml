@@ -1,0 +1,205 @@
+open Xsim
+
+let failf = Tcl.Interp.failf
+
+type item_kind = Line | Rectangle | Text_item
+
+type item = {
+  id : int;
+  kind : item_kind;
+  mutable coords : int array; (* x1 y1 x2 y2 ... *)
+  mutable fill : string;
+  mutable outline : string;
+  mutable text : string;
+}
+
+type state = { mutable items : item list; mutable next_id : int }
+
+type Tk.Core.wdata += Canvas_data of state
+
+let data w =
+  match w.Tk.Core.data with
+  | Canvas_data s -> s
+  | _ -> failf "%s is not a canvas" w.Tk.Core.path
+
+let item_count w = List.length (data w).items
+
+let specs =
+  Tk.Core.
+    [
+      spec ~switch:"-width" ~db:"width" ~cls:"Width" ~default:"200" Ot_pixels;
+      spec ~switch:"-height" ~db:"height" ~cls:"Height" ~default:"150"
+        Ot_pixels;
+      spec ~switch:"-background" ~db:"background" ~cls:"Background"
+        ~default:"white" Ot_color;
+      spec ~switch:"-bg" ~db:"background" ~cls:"Background" ~default:"white"
+        Ot_color;
+      spec ~switch:"-font" ~db:"font" ~cls:"Font" ~default:"fixed" Ot_font;
+      spec ~switch:"-borderwidth" ~db:"borderWidth" ~cls:"BorderWidth"
+        ~default:"2" Ot_pixels;
+      spec ~switch:"-relief" ~db:"relief" ~cls:"Relief" ~default:"sunken"
+        Ot_relief;
+    ]
+
+let display w =
+  let s = data w in
+  let app = w.Tk.Core.app in
+  Wutil.draw_background w ();
+  Wutil.draw_relief_border w ();
+  List.iter
+    (fun item ->
+      let gc color = Tk.Core.widget_gc w ~fg:color ~font:"-font" () in
+      match (item.kind, Array.to_list item.coords) with
+      | Line, [ x1; y1; x2; y2 ] ->
+        Server.draw_line app.Tk.Core.conn w.Tk.Core.win (gc item.fill) ~x1 ~y1
+          ~x2 ~y2
+      | Rectangle, [ x1; y1; x2; y2 ] ->
+        let rect =
+          Geom.rect ~x:(min x1 x2) ~y:(min y1 y2) ~width:(abs (x2 - x1))
+            ~height:(abs (y2 - y1))
+        in
+        if item.fill <> "" then
+          Server.fill_rect app.Tk.Core.conn w.Tk.Core.win (gc item.fill) rect;
+        if item.outline <> "" then
+          Server.draw_rect app.Tk.Core.conn w.Tk.Core.win (gc item.outline) rect
+      | Text_item, x :: y :: _ ->
+        Server.draw_text app.Tk.Core.conn w.Tk.Core.win (gc item.fill) ~x ~y
+          item.text
+      | _ -> ())
+    (List.rev s.items)
+
+let compute_geometry w =
+  Tk.Core.request_size w
+    ~width:(Tk.Core.get_pixels w "-width")
+    ~height:(Tk.Core.get_pixels w "-height")
+
+let parse_int spec =
+  match int_of_string_opt spec with
+  | Some i -> i
+  | None -> failf "expected integer but got \"%s\"" spec
+
+(* Parse trailing -fill/-outline/-text options of a create command. *)
+let rec parse_item_options item = function
+  | [] -> ()
+  | "-fill" :: v :: rest ->
+    item.fill <- v;
+    parse_item_options item rest
+  | "-outline" :: v :: rest ->
+    item.outline <- v;
+    parse_item_options item rest
+  | "-text" :: v :: rest ->
+    item.text <- v;
+    parse_item_options item rest
+  | bad :: _ -> failf "unknown canvas item option \"%s\"" bad
+
+let find_item s id =
+  match List.find_opt (fun i -> i.id = parse_int id) s.items with
+  | Some item -> item
+  | None -> failf "item \"%s\" doesn't exist" id
+
+let split_coords_options args =
+  let rec go coords = function
+    | v :: rest when v <> "" && (v.[0] <> '-' || (String.length v > 1 && Tcl.Chars.is_digit v.[1])) ->
+      go (parse_int v :: coords) rest
+    | rest -> (Array.of_list (List.rev coords), rest)
+  in
+  go [] args
+
+let create_item w kind args =
+  let s = data w in
+  let coords, options = split_coords_options args in
+  let expected =
+    match kind with Line | Rectangle -> 4 | Text_item -> 2
+  in
+  if Array.length coords <> expected then
+    failf "wrong # coordinates: expected %d, got %d" expected
+      (Array.length coords);
+  let item =
+    {
+      id = s.next_id;
+      kind;
+      coords;
+      fill = (match kind with Text_item -> "black" | _ -> "black");
+      outline = (match kind with Rectangle -> "" | _ -> "");
+      text = "";
+    }
+  in
+  (match kind with
+  | Rectangle -> item.fill <- ""
+  | Line | Text_item -> ());
+  (match kind with
+  | Rectangle -> item.outline <- "black"
+  | Line | Text_item -> ());
+  parse_item_options item options;
+  s.next_id <- s.next_id + 1;
+  s.items <- item :: s.items;
+  Tk.Core.schedule_redraw w;
+  item.id
+
+let subcommands w words =
+  let s = data w in
+  let ok = Tcl.Interp.ok in
+  match words with
+  | _ :: "create" :: kind :: args ->
+    let kind =
+      match kind with
+      | "line" -> Line
+      | "rectangle" | "rect" -> Rectangle
+      | "text" -> Text_item
+      | k -> failf "unknown canvas item type \"%s\"" k
+    in
+    ok (string_of_int (create_item w kind args))
+  | [ _; "delete"; "all" ] ->
+    s.items <- [];
+    Tk.Core.schedule_redraw w;
+    ok ""
+  | [ _; "delete"; id ] ->
+    let item = find_item s id in
+    s.items <- List.filter (fun i -> i != item) s.items;
+    Tk.Core.schedule_redraw w;
+    ok ""
+  | [ _; "move"; id; dx; dy ] ->
+    let item = find_item s id in
+    let dx = parse_int dx and dy = parse_int dy in
+    item.coords <-
+      Array.mapi
+        (fun i v -> if i mod 2 = 0 then v + dx else v + dy)
+        item.coords;
+    Tk.Core.schedule_redraw w;
+    ok ""
+  | [ _; "coords"; id ] ->
+    let item = find_item s id in
+    ok
+      (Tcl.Tcl_list.format
+         (Array.to_list (Array.map string_of_int item.coords)))
+  | _ :: "coords" :: id :: (_ :: _ as new_coords) ->
+    let item = find_item s id in
+    item.coords <- Array.of_list (List.map parse_int new_coords);
+    Tk.Core.schedule_redraw w;
+    ok ""
+  | [ _; "type"; id ] ->
+    ok
+      (match (find_item s id).kind with
+      | Line -> "line"
+      | Rectangle -> "rectangle"
+      | Text_item -> "text")
+  | [ _; "itemcount" ] -> ok (string_of_int (List.length s.items))
+  | _ :: sub :: _ -> failf "bad option \"%s\" for %s" sub w.Tk.Core.path
+  | _ -> Tcl.Interp.wrong_args (w.Tk.Core.path ^ " option ?arg ...?")
+
+let make_class () =
+  let cls = Tk.Core.make_class ~name:"Canvas" ~specs () in
+  cls.Tk.Core.configure_hook <-
+    (fun w ->
+      Server.set_window_background w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win
+        (Tk.Core.get_color w "-background");
+      compute_geometry w;
+      Tk.Core.schedule_redraw w);
+  cls.Tk.Core.display <- display;
+  cls.Tk.Core.subcommands <- subcommands;
+  cls
+
+let install app =
+  Wutil.standard_creator app ~command:"canvas" ~make:make_class
+    ~data:(fun () -> Canvas_data { items = []; next_id = 1 })
+    ()

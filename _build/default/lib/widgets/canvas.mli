@@ -1,0 +1,17 @@
+(** A structured-graphics canvas: the paper's §5 plan to "enhance wish with
+    drawing commands for shapes and text", realised as a widget.
+
+    Items are created by Tcl commands and keep an integer id:
+
+    {v
+      .c create line x1 y1 x2 y2 ?-fill color?
+      .c create rectangle x1 y1 x2 y2 ?-fill color? ?-outline color?
+      .c create text x y ?-text string? ?-fill color?
+    v}
+
+    Widget commands: [create], [delete id|all], [move id dx dy],
+    [coords id ?x1 y1 ...?], [itemcount], [type id]. *)
+
+val install : Tk.Core.app -> unit
+
+val item_count : Tk.Core.widget -> int

@@ -1,0 +1,4 @@
+let install app =
+  Wutil.standard_creator app ~command:"frame"
+    ~make:(fun () -> Tk.Core.container_class ~name:"Frame")
+    ()

@@ -1,0 +1,5 @@
+(** Frames: featureless container widgets used as masters for geometry
+    management (the paper's "panes"). *)
+
+val install : Tk.Core.app -> unit
+(** Register the [frame] creation command. *)

@@ -1,0 +1,100 @@
+open Xsim
+
+let specs =
+  Tk.Core.
+    [
+      spec ~switch:"-text" ~db:"text" ~cls:"Text" ~default:"" Ot_string;
+      spec ~switch:"-font" ~db:"font" ~cls:"Font" ~default:"fixed" Ot_font;
+      spec ~switch:"-foreground" ~db:"foreground" ~cls:"Foreground"
+        ~default:"black" Ot_color;
+      spec ~switch:"-fg" ~db:"foreground" ~cls:"Foreground" ~default:"black"
+        Ot_color;
+      spec ~switch:"-background" ~db:"background" ~cls:"Background"
+        ~default:"#cccccc" Ot_color;
+      spec ~switch:"-bg" ~db:"background" ~cls:"Background" ~default:"#cccccc"
+        Ot_color;
+      spec ~switch:"-width" ~db:"width" ~cls:"Width" ~default:"200" Ot_pixels;
+      spec ~switch:"-justify" ~db:"justify" ~cls:"Justify" ~default:"left"
+        Ot_string;
+      spec ~switch:"-borderwidth" ~db:"borderWidth" ~cls:"BorderWidth"
+        ~default:"1" Ot_pixels;
+      spec ~switch:"-relief" ~db:"relief" ~cls:"Relief" ~default:"flat"
+        Ot_relief;
+      spec ~switch:"-padx" ~db:"padX" ~cls:"Pad" ~default:"2" Ot_pixels;
+      spec ~switch:"-pady" ~db:"padY" ~cls:"Pad" ~default:"2" Ot_pixels;
+    ]
+
+let wrap_text font ~width text =
+  let wrap_line line =
+    let words = List.filter (fun s -> s <> "") (String.split_on_char ' ' line) in
+    match words with
+    | [] -> [ "" ]
+    | first :: rest ->
+      let lines, current =
+        List.fold_left
+          (fun (done_lines, current) word ->
+            let candidate = current ^ " " ^ word in
+            if Font.text_width font candidate <= width then (done_lines, candidate)
+            else (current :: done_lines, word))
+          ([], first) rest
+      in
+      List.rev (current :: lines)
+  in
+  List.concat_map wrap_line (String.split_on_char '\n' text)
+
+let layout w =
+  let font = Wutil.widget_font w in
+  let width = Tk.Core.get_pixels w "-width" in
+  wrap_text font ~width (Tk.Core.get_string w "-text")
+
+let compute_geometry w =
+  let font = Wutil.widget_font w in
+  let lines = layout w in
+  let bw = Tk.Core.get_pixels w "-borderwidth" in
+  let padx = Tk.Core.get_pixels w "-padx" in
+  let pady = Tk.Core.get_pixels w "-pady" in
+  let text_w =
+    List.fold_left (fun acc l -> max acc (Font.text_width font l)) 0 lines
+  in
+  let text_h = max 1 (List.length lines) * Font.line_height font in
+  Tk.Core.request_size w
+    ~width:(text_w + (2 * (bw + padx)))
+    ~height:(text_h + (2 * (bw + pady)))
+
+let display w =
+  let app = w.Tk.Core.app in
+  let font = Wutil.widget_font w in
+  let gc = Tk.Core.widget_gc w ~fg:"-foreground" ~font:"-font" () in
+  Wutil.draw_background w ();
+  Wutil.draw_relief_border w ();
+  let bw = Tk.Core.get_pixels w "-borderwidth" in
+  let padx = Tk.Core.get_pixels w "-padx" in
+  let pady = Tk.Core.get_pixels w "-pady" in
+  let justify = Tk.Core.get_string w "-justify" in
+  let avail_w = w.Tk.Core.width - (2 * (bw + padx)) in
+  List.iteri
+    (fun i line ->
+      let lw = Font.text_width font line in
+      let x =
+        match justify with
+        | "right" -> bw + padx + avail_w - lw
+        | "center" -> bw + padx + ((avail_w - lw) / 2)
+        | _ -> bw + padx
+      in
+      let y = bw + pady + (i * Font.line_height font) + font.Font.ascent in
+      Server.draw_text app.Tk.Core.conn w.Tk.Core.win gc ~x ~y line)
+    (layout w)
+
+let make_class () =
+  let cls = Tk.Core.make_class ~name:"Message" ~specs () in
+  cls.Tk.Core.configure_hook <-
+    (fun w ->
+      Server.set_window_background w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win
+        (Tk.Core.get_color w "-background");
+      compute_geometry w;
+      Tk.Core.schedule_redraw w);
+  cls.Tk.Core.display <- display;
+  cls
+
+let install app =
+  Wutil.standard_creator app ~command:"message" ~make:make_class ()

@@ -1,0 +1,10 @@
+(** Message widgets: multi-line read-only text with word wrapping, one of
+    the Motif-compatible widgets listed in paper §7. The [-width] option
+    gives the wrap width in pixels; [-justify] aligns the wrapped lines. *)
+
+val install : Tk.Core.app -> unit
+
+val wrap_text : Xsim.Font.t -> width:int -> string -> string list
+(** Word-wrap a string to a pixel width (exposed for tests). Explicit
+    newlines are preserved; words longer than the width get their own
+    line. *)

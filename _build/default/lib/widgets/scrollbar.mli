@@ -1,0 +1,14 @@
+(** Scrollbars (paper §4): a scrollbar controls another widget purely by
+    issuing Tcl commands. The associated widget keeps the scrollbar in
+    sync by invoking
+
+    {v scrollbar set totalUnits windowUnits firstUnit lastUnit v}
+
+    and the scrollbar reacts to mouse activity by appending a unit number
+    to its [-command] prefix — e.g. [".list view 40"] — exactly the
+    mechanism the paper describes for connecting independent widgets. *)
+
+val install : Tk.Core.app -> unit
+
+val view_state : Tk.Core.widget -> int * int * int * int
+(** (total, window, first, last), as last set (exposed for tests). *)

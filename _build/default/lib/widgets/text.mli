@@ -1,0 +1,28 @@
+(** A multi-line editable text widget (the one large widget Tk grew
+    immediately after the paper; included so the §6 editor scenarios can
+    be built on real text rather than listboxes).
+
+    Positions are Tk-style ["line.char"] indices (lines from 1, characters
+    from 0), plus ["end"] and ["insert"] (the insertion cursor). Widget
+    commands:
+
+    {v
+      .t insert index string        .t delete index1 ?index2?
+      .t get index1 ?index2?        .t index position
+      .t mark set insert index      .t mark insert
+      .t view ?lineNumber?          .t tag add sel first last
+      .t tag remove sel             .t tag ranges sel
+      .t lines
+    v}
+
+    Built-in behaviour: click to set the cursor and focus, printable keys
+    insert, Return splits the line, BackSpace joins/deletes, arrows move
+    the cursor, dragging selects (and claims the X selection). *)
+
+val install : Tk.Core.app -> unit
+
+val contents : Tk.Core.widget -> string
+(** The whole buffer, newline-separated (for tests). *)
+
+val cursor : Tk.Core.widget -> int * int
+(** Insertion point as (line, char), 1- and 0-based respectively. *)

@@ -1,0 +1,16 @@
+let install app =
+  Frame.install app;
+  Button.install app;
+  Message.install app;
+  Listbox.install app;
+  Scrollbar.install app;
+  Scale.install app;
+  Entry.install app;
+  Menu.install app;
+  Canvas.install app;
+  Text.install app
+
+let new_app ?app_class ~server ~name () =
+  let app = Tk.Main.create ?app_class ~server ~name () in
+  install app;
+  app

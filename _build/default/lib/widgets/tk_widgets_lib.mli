@@ -1,0 +1,10 @@
+(** Installer for the complete widget set: [frame], [label], [button],
+    [checkbutton], [radiobutton], [message], [listbox], [scrollbar],
+    [scale], [entry], [menu] and [menubutton] — the paper §7 widget
+    inventory. *)
+
+val install : Tk.Core.app -> unit
+
+val new_app :
+  ?app_class:string -> server:Xsim.Server.t -> name:string -> unit -> Tk.Core.app
+(** A fully equipped application: intrinsics + widget set. *)

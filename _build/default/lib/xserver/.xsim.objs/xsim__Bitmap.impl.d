@@ -1,0 +1,1 @@
+lib/xserver/bitmap.ml: Array In_channel List Option String

@@ -1,0 +1,1 @@
+lib/xserver/color.ml: Char Hashtbl List Option Printf String

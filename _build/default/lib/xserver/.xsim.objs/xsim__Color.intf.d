@@ -1,0 +1,1 @@
+lib/xserver/color.mli:

@@ -1,0 +1,1 @@
+lib/xserver/cursor.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/xserver/event.ml: Atom List String Xid

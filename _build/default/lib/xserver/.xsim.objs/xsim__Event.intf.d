@@ -1,0 +1,1 @@
+lib/xserver/event.mli: Atom Xid

@@ -1,0 +1,1 @@
+lib/xserver/font.mli:

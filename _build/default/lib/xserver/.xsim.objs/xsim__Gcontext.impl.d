@@ -1,0 +1,1 @@
+lib/xserver/gcontext.ml: Bitmap Color Font Xid

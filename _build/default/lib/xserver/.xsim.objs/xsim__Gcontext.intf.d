@@ -1,0 +1,1 @@
+lib/xserver/gcontext.mli: Bitmap Color Font Xid

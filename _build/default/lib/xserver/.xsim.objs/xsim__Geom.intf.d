@@ -1,0 +1,1 @@
+lib/xserver/geom.mli: Format

@@ -1,0 +1,1 @@
+lib/xserver/raster.ml: Array Atom Bitmap Buffer Color Geom Hashtbl List Server String Window

@@ -1,0 +1,1 @@
+lib/xserver/raster.mli: Geom Server Xid

@@ -1,0 +1,1 @@
+lib/xserver/server.ml: Atom Bitmap Color Cursor Event Font Gcontext Geom Hashtbl List Option Printf Queue String Window Xid

@@ -1,0 +1,1 @@
+lib/xserver/server.mli: Atom Bitmap Color Cursor Event Font Gcontext Geom Window Xid

@@ -1,0 +1,1 @@
+lib/xserver/window.ml: Atom Bitmap Color Cursor Font Geom Hashtbl List Xid

@@ -1,0 +1,1 @@
+lib/xserver/window.mli: Atom Bitmap Color Cursor Font Geom Hashtbl Xid

@@ -1,0 +1,1 @@
+lib/xserver/xid.ml: Format

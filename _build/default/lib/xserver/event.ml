@@ -1,0 +1,119 @@
+type state = {
+  shift : bool;
+  control : bool;
+  meta : bool;
+  alt : bool;
+  lock : bool;
+  button1 : bool;
+  button2 : bool;
+  button3 : bool;
+}
+
+let empty_state =
+  {
+    shift = false;
+    control = false;
+    meta = false;
+    alt = false;
+    lock = false;
+    button1 = false;
+    button2 = false;
+    button3 = false;
+  }
+
+type t =
+  | Key_press of key
+  | Key_release of key
+  | Button_press of button
+  | Button_release of button
+  | Motion of motion
+  | Enter of crossing
+  | Leave of crossing
+  | Focus_in
+  | Focus_out
+  | Expose of expose
+  | Map_notify
+  | Unmap_notify
+  | Destroy_notify
+  | Configure_notify of configure
+  | Property_notify of property
+  | Selection_clear of { selection : Atom.t }
+  | Selection_request of selection_request
+  | Selection_notify of selection_notify
+
+and key = { keysym : string; key_state : state; kx : int; ky : int }
+
+and button = { button : int; bx : int; by : int; button_state : state }
+
+and motion = { mx : int; my : int; motion_state : state }
+
+and crossing = { crossing_state : state }
+
+and expose = { ex : int; ey : int; ewidth : int; eheight : int; count : int }
+
+and configure = { cx : int; cy : int; cwidth : int; cheight : int }
+
+and property = { prop_atom : Atom.t; prop_deleted : bool }
+
+and selection_request = {
+  sr_selection : Atom.t;
+  sr_target : Atom.t;
+  sr_property : Atom.t;
+  sr_requestor : Xid.t;
+}
+
+and selection_notify = {
+  sn_selection : Atom.t;
+  sn_target : Atom.t;
+  sn_property : Atom.t option;
+  sn_requestor : Xid.t;
+}
+
+type delivery = { window : Xid.t; time : int; event : t }
+
+let special_keysyms =
+  [
+    (' ', "space"); ('!', "exclam"); ('"', "quotedbl"); ('#', "numbersign");
+    ('$', "dollar"); ('%', "percent"); ('&', "ampersand");
+    ('\'', "apostrophe"); ('(', "parenleft"); (')', "parenright");
+    ('*', "asterisk"); ('+', "plus"); (',', "comma"); ('-', "minus");
+    ('.', "period"); ('/', "slash"); (':', "colon"); (';', "semicolon");
+    ('<', "less"); ('=', "equal"); ('>', "greater"); ('?', "question");
+    ('@', "at"); ('[', "bracketleft"); ('\\', "backslash");
+    (']', "bracketright"); ('^', "asciicircum"); ('_', "underscore");
+    ('`', "grave"); ('{', "braceleft"); ('|', "bar"); ('}', "braceright");
+    ('~', "asciitilde"); ('\n', "Return"); ('\t', "Tab");
+    ('\127', "Delete"); ('\b', "BackSpace"); ('\027', "Escape");
+  ]
+
+let keysym_of_char c =
+  match List.assoc_opt c special_keysyms with
+  | Some name -> name
+  | None -> String.make 1 c
+
+let char_of_keysym keysym =
+  if String.length keysym = 1 then Some keysym.[0]
+  else
+    List.find_map
+      (fun (c, name) -> if name = keysym then Some c else None)
+      special_keysyms
+
+let name = function
+  | Key_press _ -> "KeyPress"
+  | Key_release _ -> "KeyRelease"
+  | Button_press _ -> "ButtonPress"
+  | Button_release _ -> "ButtonRelease"
+  | Motion _ -> "Motion"
+  | Enter _ -> "Enter"
+  | Leave _ -> "Leave"
+  | Focus_in -> "FocusIn"
+  | Focus_out -> "FocusOut"
+  | Expose _ -> "Expose"
+  | Map_notify -> "Map"
+  | Unmap_notify -> "Unmap"
+  | Destroy_notify -> "Destroy"
+  | Configure_notify _ -> "Configure"
+  | Property_notify _ -> "Property"
+  | Selection_clear _ -> "SelectionClear"
+  | Selection_request _ -> "SelectionRequest"
+  | Selection_notify _ -> "SelectionNotify"

@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  family : string;
+  char_width : int;
+  ascent : int;
+  descent : int;
+  bold : bool;
+}
+
+let default_name = "fixed"
+
+let aliases =
+  [
+    ("fixed", (6, 10, 3));
+    ("6x13", (6, 10, 3));
+    ("8x13", (8, 10, 3));
+    ("9x15", (9, 12, 3));
+    ("5x8", (5, 6, 2));
+    ("cursor", (8, 10, 3));
+  ]
+
+let known_families =
+  [ "helvetica"; "times"; "courier"; "fixed"; "lucida"; "charter"; "symbol" ]
+
+(* Metrics derived from the point size (in tenths, XLFD-style): a rough
+   2:1 height-to-width monospace design. *)
+let metrics_for_size tenths =
+  let px = max 4 (tenths / 10) in
+  let char_width = max 3 ((px * 3) / 5) in
+  let ascent = max 3 ((px * 4) / 5) in
+  let descent = max 1 (px / 5) in
+  (char_width, ascent, descent)
+
+(* Parse a simplified XLFD: fields separated by '-', with '*' wildcards.
+   We look for a known family, an optional "bold" weight and a numeric
+   field interpreted as the point size in tenths. *)
+let parse_xlfd name =
+  let fields = String.split_on_char '-' (String.lowercase_ascii name) in
+  let family =
+    List.find_opt (fun f -> List.mem f known_families) fields
+  in
+  let bold = List.mem "bold" fields in
+  let size =
+    List.find_map
+      (fun f ->
+        match int_of_string_opt f with
+        | Some n when n >= 60 && n <= 500 -> Some n
+        | Some n when n >= 6 && n <= 50 -> Some (n * 10)
+        | _ -> None)
+      fields
+  in
+  match family with
+  | None -> None
+  | Some family ->
+    let tenths = Option.value size ~default:120 in
+    let char_width, ascent, descent = metrics_for_size tenths in
+    Some { name; family; char_width; ascent; descent; bold }
+
+let parse name =
+  let lower = String.lowercase_ascii name in
+  match List.assoc_opt lower aliases with
+  | Some (char_width, ascent, descent) ->
+    Some { name; family = "fixed"; char_width; ascent; descent; bold = false }
+  | None ->
+    if String.contains name '-' then parse_xlfd name
+    else if List.mem lower known_families then
+      let char_width, ascent, descent = metrics_for_size 120 in
+      Some { name; family = lower; char_width; ascent; descent; bold = false }
+    else None
+
+let line_height f = f.ascent + f.descent
+
+let text_width f s = String.length s * f.char_width

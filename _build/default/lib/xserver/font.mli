@@ -1,0 +1,29 @@
+(** Synthetic server fonts. Real X fonts come from the server with
+    per-character metrics; here every font is a fixed-pitch design whose
+    cell size is derived from the requested family and point size, which is
+    all the toolkit's geometry computations need.
+
+    Accepted names: short aliases ([fixed], [6x13], [8x13], [9x15]) and
+    simplified XLFD patterns like
+    [*-helvetica-bold-r-*-120-*] (the 120 is the point size in tenths). *)
+
+type t = {
+  name : string; (** the name it was opened under *)
+  family : string;
+  char_width : int; (** advance per character, pixels *)
+  ascent : int;
+  descent : int;
+  bold : bool;
+}
+
+val parse : string -> t option
+(** Resolve a font name; [None] if the name matches no known pattern. *)
+
+val line_height : t -> int
+(** [ascent + descent]. *)
+
+val text_width : t -> string -> int
+(** Width in pixels of a string drawn in this font. *)
+
+val default_name : string
+(** The fallback font ("fixed"). *)

@@ -1,0 +1,233 @@
+(** The simulated X display server.
+
+    One [Server.t] models one display: a window tree rooted at a screen-
+    sized root window, an atom table, per-client connections with event
+    queues, selections, a pointer and a keyboard. Clients talk to it
+    through {!connection} values; every call that would be an X protocol
+    request increments that connection's request counters, so the traffic
+    saved by Tk's caches (paper §3.3) is directly measurable. Calls marked
+    "round trip" are those that block on a reply in real X.
+
+    Input is injected with the [inject_*] functions, which synthesize the
+    event stream a real server would produce (Enter/Leave on crossings,
+    Motion, key events to the focus window). *)
+
+type t
+
+type connection
+
+(** Request counters for one connection. *)
+type stats = {
+  mutable total_requests : int;
+  mutable round_trips : int;
+  mutable resource_allocs : int;  (** colors, fonts, cursors, bitmaps *)
+  mutable window_requests : int;
+  mutable draw_requests : int;
+  mutable property_requests : int;
+}
+
+val create : ?width:int -> ?height:int -> unit -> t
+(** A display whose root window has the given size (default 1024x768). *)
+
+val connect : t -> name:string -> connection
+(** Open a client connection ([name] is for diagnostics). *)
+
+val close : connection -> unit
+(** Close the connection: destroys every window it created (as the X
+    server does) and drops its queue. *)
+
+val root : t -> Xid.t
+val root_window : t -> Window.t
+val server_of : connection -> t
+val connection_name : connection -> string
+val connection_id : connection -> int
+val stats : connection -> stats
+val reset_stats : connection -> unit
+
+val time : t -> int
+(** The server's logical clock (ms). It advances on every request and
+    injected input event. *)
+
+val advance_time : t -> int -> unit
+(** Advance the logical clock (used to simulate delays, e.g. for testing
+    double-click timeouts). *)
+
+(** {1 Atoms} *)
+
+val intern_atom : connection -> string -> Atom.t
+(** Round trip. *)
+
+val atom_name : connection -> Atom.t -> string option
+(** Round trip. *)
+
+(** {1 Windows} *)
+
+val create_window :
+  connection ->
+  parent:Xid.t ->
+  x:int ->
+  y:int ->
+  width:int ->
+  height:int ->
+  border_width:int ->
+  Xid.t
+(** @raise Failure if [parent] does not exist. *)
+
+val destroy_window : connection -> Xid.t -> unit
+(** Destroys the window and all descendants; each creating connection
+    receives a [Destroy_notify] per destroyed window. *)
+
+val map_window : connection -> Xid.t -> unit
+(** Maps the window; delivers [Map_notify] and an [Expose] if it becomes
+    viewable. *)
+
+val unmap_window : connection -> Xid.t -> unit
+
+val configure_window :
+  connection ->
+  ?x:int ->
+  ?y:int ->
+  ?width:int ->
+  ?height:int ->
+  ?border_width:int ->
+  Xid.t ->
+  unit
+(** Move/resize; delivers [Configure_notify] (and [Expose] on resize of a
+    viewable window). *)
+
+val raise_window : connection -> Xid.t -> unit
+val lower_window : connection -> Xid.t -> unit
+val set_window_background : connection -> Xid.t -> Color.t -> unit
+val set_window_border : connection -> Xid.t -> Color.t -> unit
+val set_window_cursor : connection -> Xid.t -> Cursor.t option -> unit
+val set_override_redirect : connection -> Xid.t -> bool -> unit
+
+val lookup_window : t -> Xid.t -> Window.t option
+
+val query_geometry : connection -> Xid.t -> Geom.rect option
+(** Round trip: window geometry in parent coordinates. The Tk structure
+    cache exists to avoid this call. *)
+
+val query_pointer : connection -> Geom.point
+(** Round trip: pointer position in root coordinates. *)
+
+(** {1 Resources (round trips; the targets of Tk's resource cache)} *)
+
+val alloc_color : connection -> string -> Color.t option
+val open_font : connection -> string -> Font.t option
+val alloc_cursor : connection -> string -> Cursor.t option
+val alloc_bitmap : connection -> string -> Bitmap.t option
+
+val create_gc :
+  connection ->
+  ?foreground:Color.t ->
+  ?background:Color.t ->
+  ?font:Font.t ->
+  ?line_width:int ->
+  ?stipple:Bitmap.t ->
+  unit ->
+  Gcontext.t
+
+(** {1 Properties} *)
+
+val change_property :
+  connection -> Xid.t -> prop:Atom.t -> ptype:Atom.t -> string -> unit
+(** Set a property; [Property_notify] goes to the window's owner and to
+    registered listeners. *)
+
+val get_property : connection -> Xid.t -> prop:Atom.t -> Window.prop option
+(** Round trip. *)
+
+val delete_property : connection -> Xid.t -> prop:Atom.t -> unit
+
+val listen_property : connection -> Xid.t -> unit
+(** Register interest in [Property_notify] events on a window this
+    connection does not own (X's PropertyChangeMask on another client's
+    window — how [send] watches the registry). *)
+
+(** {1 Selections} *)
+
+val set_selection_owner : connection -> selection:Atom.t -> Xid.t -> unit
+(** The previous owner (if any) receives [Selection_clear]. Passing
+    [Xid.none] relinquishes ownership. *)
+
+val get_selection_owner : connection -> selection:Atom.t -> Xid.t
+(** Round trip; {!Xid.none} when unowned. *)
+
+val convert_selection :
+  connection ->
+  selection:Atom.t ->
+  target:Atom.t ->
+  property:Atom.t ->
+  requestor:Xid.t ->
+  unit
+(** Ask the selection owner to convert: the owner's connection receives
+    [Selection_request]; if the selection is unowned the requestor
+    immediately receives a refusing [Selection_notify]. *)
+
+val send_selection_notify :
+  connection ->
+  requestor:Xid.t ->
+  selection:Atom.t ->
+  target:Atom.t ->
+  property:Atom.t option ->
+  data:string option ->
+  unit
+(** The owner's reply: stores [data] in the property on the requestor
+    window (if accepted) and delivers [Selection_notify]. *)
+
+(** {1 Drawing (retained in per-window display lists)} *)
+
+val clear_window : connection -> Xid.t -> unit
+val fill_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+val draw_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+
+val draw_text : connection -> Xid.t -> Gcontext.t -> x:int -> y:int -> string -> unit
+(** [y] is the text baseline, per X convention. *)
+
+val draw_line :
+  connection -> Xid.t -> Gcontext.t -> x1:int -> y1:int -> x2:int -> y2:int -> unit
+
+val stipple_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+
+val draw_relief :
+  connection -> Xid.t -> Geom.rect -> raised:bool -> width:int -> unit
+(** Tk-style 3-D border (drawn by widgets with two GCs in real Tk; modelled
+    as one request here). *)
+
+(** {1 Focus} *)
+
+val set_input_focus : connection -> Xid.t -> unit
+(** [Focus_out]/[Focus_in] are delivered to the old and new focus
+    windows. Passing {!Xid.none} reverts to pointer-root focus. *)
+
+val get_input_focus : connection -> Xid.t
+(** Round trip. *)
+
+(** {1 Event queues} *)
+
+val next_event : connection -> Event.delivery option
+val pending : connection -> int
+
+val send_event : connection -> Xid.t -> Event.t -> unit
+(** Deliver a synthetic event to a window's owner (X's XSendEvent). *)
+
+(** {1 Input injection (test/driver side — not client requests)} *)
+
+val inject_motion : t -> x:int -> y:int -> unit
+(** Move the pointer to root coordinates (x, y): generates Leave/Enter on
+    window crossings and a Motion event in the pointer window. *)
+
+val inject_button : t -> button:int -> pressed:bool -> unit
+(** Press/release a pointer button at the current pointer position. *)
+
+val inject_key : t -> keysym:string -> pressed:bool -> unit
+(** Press/release a key: delivered to the focus window (or the pointer
+    window under pointer-root focus). Modifier keysyms (Shift_L,
+    Control_L, Meta_L, Alt_L) update the modifier state. *)
+
+val inject_string : t -> string -> unit
+(** Convenience: type a string, one key press/release pair per char. *)
+
+val pointer_window : t -> Xid.t
+(** The window currently containing the pointer. *)

@@ -1,0 +1,1115 @@
+(* Tests for the widget set (buttons, listbox, scrollbar, entry, scale,
+   message, menu) and the cross-application protocols: send (§6) and the
+   selection (§3.6). *)
+
+open Xsim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fresh_app ?(name = "test") () =
+  let server = Server.create () in
+  let app = Tk_widgets.Tk_widgets_lib.new_app ~server ~name () in
+  (server, app)
+
+let run app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "script %S failed: %s" script msg
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let widget_point app path ~fx ~fy =
+  let w = Tk.Core.lookup_exn app path in
+  let win = Option.get (Server.lookup_window app.Tk.Core.server w.Tk.Core.win) in
+  let p = Window.root_position win in
+  ( p.Geom.x + int_of_float (fx *. float_of_int w.Tk.Core.width),
+    p.Geom.y + int_of_float (fy *. float_of_int w.Tk.Core.height) )
+
+let click ?(fx = 0.5) ?(fy = 0.5) app path =
+  let server = app.Tk.Core.server in
+  let x, y = widget_point app path ~fx ~fy in
+  Server.inject_motion server ~x ~y;
+  Tk.Core.update app;
+  Server.inject_button server ~button:1 ~pressed:true;
+  Server.inject_button server ~button:1 ~pressed:false;
+  Tk.Core.update app
+
+(* ------------------------------------------------------------------ *)
+(* Buttons *)
+
+let button_tests =
+  [
+    ( "clicking a button runs its -command (§4)",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b -text go -command {set clicked 1}");
+        ignore (run app "pack append . .b {top}");
+        Tk.Core.update app;
+        click app ".b";
+        check_string "command ran" "1"
+          (Option.get (Tcl.Interp.get_var app.Tk.Core.interp "clicked")) );
+    ( "press then release outside does not invoke",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "button .b -text go -command {set clicked 1}");
+        ignore (run app "frame .other -width 60 -height 40");
+        ignore (run app "pack append . .b {top} .other {top}");
+        Tk.Core.update app;
+        let bx, by = widget_point app ".b" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x:bx ~y:by;
+        Server.inject_button server ~button:1 ~pressed:true;
+        let ox, oy = widget_point app ".other" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x:ox ~y:oy;
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        check_bool "not invoked" true
+          (Tcl.Interp.get_var app.Tk.Core.interp "clicked" = None) );
+    ( "invoke subcommand runs the command",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b -command {set n [expr {[info exists n] ? $n+1 : 1}]}");
+        ignore (run app ".b invoke; .b invoke");
+        check_string "twice" "2" (run app "set n") );
+    ( "disabled button ignores invoke",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b -command {set clicked 1} -state disabled");
+        ignore (run app ".b invoke");
+        check_bool "ignored" true
+          (Tcl.Interp.get_var app.Tk.Core.interp "clicked" = None) );
+    ( "flash subcommand (paper §4 example)",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .hello -text hi");
+        ignore (run app "pack append . .hello {top}");
+        Tk.Core.update app;
+        ignore (run app ".hello flash");
+        let w = Tk.Core.lookup_exn app ".hello" in
+        check_int "flashed" 1 (Tk_widgets.Button.flash_count w) );
+    ( "checkbutton toggles its variable",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "checkbutton .c -variable flag");
+        ignore (run app ".c invoke");
+        check_string "on" "1" (run app "set flag");
+        ignore (run app ".c invoke");
+        check_string "off" "0" (run app "set flag");
+        ignore (run app ".c toggle");
+        check_string "toggled" "1" (run app "set flag") );
+    ( "radiobuttons share a variable",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "radiobutton .r1 -variable choice -value one");
+        ignore (run app "radiobutton .r2 -variable choice -value two");
+        ignore (run app ".r1 invoke");
+        check_string "first" "one" (run app "set choice");
+        ignore (run app ".r2 invoke");
+        check_string "second" "two" (run app "set choice") );
+    ( "label has no command behaviour",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "label .l -text static");
+        let msg = run app "catch {.l invoke} err; set err" in
+        check_bool "no invoke" true (contains ~needle:"bad option" msg) );
+    ( "button size tracks its text",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .short -text ab");
+        ignore (run app "button .long -text abcdefghijklmnop");
+        let short = Tk.Core.lookup_exn app ".short" in
+        let long = Tk.Core.lookup_exn app ".long" in
+        check_bool "longer text, wider widget" true
+          (long.Tk.Core.req_width > short.Tk.Core.req_width) );
+    ( "enter/leave track the active state",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "button .b -text hi");
+        ignore (run app "pack append . .b {top}");
+        Tk.Core.update app;
+        let x, y = widget_point app ".b" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x ~y;
+        Tk.Core.update app;
+        (* Render with active background: darker than normal. *)
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "renders" true (contains ~needle:"hi" dump) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Listbox + scrollbar (the §4 cooperation example) *)
+
+let listbox_tests =
+  [
+    ( "insert, size, get, delete",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l");
+        ignore (run app ".l insert end a b c d");
+        check_string "size" "4" (run app ".l size");
+        check_string "get 1" "b" (run app ".l get 1");
+        ignore (run app ".l insert 1 X");
+        check_string "inserted" "X" (run app ".l get 1");
+        ignore (run app ".l delete 0 2");
+        check_string "after delete" "c" (run app ".l get 0") );
+    ( "view scrolls the window",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l -geometry 10x5");
+        for i = 1 to 20 do
+          ignore (run app (Printf.sprintf ".l insert end item%d" i))
+        done;
+        ignore (run app ".l view 7");
+        let w = Tk.Core.lookup_exn app ".l" in
+        check_int "top" 7 (Tk_widgets.Listbox.top_index w) );
+    ( "scrollbar is kept in sync via the -scroll command (§4)",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "scrollbar .s -command \".l view\"");
+        ignore (run app "listbox .l -scroll \".s set\" -geometry 10x5");
+        ignore (run app "pack append . .s {right filly} .l {left expand fill}");
+        Tk.Core.update app;
+        for i = 1 to 20 do
+          ignore (run app (Printf.sprintf ".l insert end item%d" i))
+        done;
+        Tk.Core.update app;
+        let sb = Tk.Core.lookup_exn app ".s" in
+        let total, _window, first, _last = Tk_widgets.Scrollbar.view_state sb in
+        check_int "total" 20 total;
+        check_int "first" 0 first );
+    ( "scrollbar click scrolls the listbox (\".l view 40\" mechanism)",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "scrollbar .s -command \".l view\"");
+        ignore (run app "listbox .l -scroll \".s set\" -geometry 10x5");
+        ignore (run app "pack append . .s {right filly} .l {left expand fill}");
+        Tk.Core.update app;
+        for i = 1 to 40 do
+          ignore (run app (Printf.sprintf ".l insert end item%d" i))
+        done;
+        Tk.Core.update app;
+        (* Click in the trough below the slider: page down. *)
+        let x, y = widget_point app ".s" ~fx:0.5 ~fy:0.8 in
+        Server.inject_motion server ~x ~y;
+        Server.inject_button server ~button:1 ~pressed:true;
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        let w = Tk.Core.lookup_exn app ".l" in
+        check_bool "scrolled down" true (Tk_widgets.Listbox.top_index w > 0);
+        (* And the scrollbar reflects the new view. *)
+        let sb = Tk.Core.lookup_exn app ".s" in
+        let _, _, first, _ = Tk_widgets.Scrollbar.view_state sb in
+        check_int "scrollbar synced" (Tk_widgets.Listbox.top_index w) first );
+    ( "dragging the scrollbar slider scrolls proportionally",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "scrollbar .s -command \".l view\"");
+        ignore (run app "listbox .l -scroll \".s set\" -geometry 10x5");
+        ignore (run app "pack append . .s {right filly} .l {left expand fill}");
+        Tk.Core.update app;
+        for i = 1 to 100 do
+          ignore (run app (Printf.sprintf ".l insert end item%d" i))
+        done;
+        Tk.Core.update app;
+        (* Press on the slider itself (it sits just below the top arrow
+           while first=0), then drag to the middle of the trough. *)
+        let sb = Tk.Core.lookup_exn app ".s" in
+        let swin =
+          Option.get (Server.lookup_window server sb.Tk.Core.win)
+        in
+        let origin = Window.root_position swin in
+        let sx = origin.Geom.x + (sb.Tk.Core.width / 2) in
+        let arrow = Tk.Core.get_pixels sb "-width" in
+        Server.inject_motion server ~x:sx ~y:(origin.Geom.y + arrow + 2);
+        Server.inject_button server ~button:1 ~pressed:true;
+        Tk.Core.update app;
+        Server.inject_motion server ~x:sx
+          ~y:(origin.Geom.y + (sb.Tk.Core.height / 2));
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        let w = Tk.Core.lookup_exn app ".l" in
+        let top = Tk_widgets.Listbox.top_index w in
+        check_bool "scrolled to around the middle" true (top > 25 && top < 70) );
+    ( "clicking selects an item and claims the X selection",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l -geometry 10x5");
+        ignore (run app "pack append . .l {top}");
+        Tk.Core.update app;
+        ignore (run app ".l insert end alpha beta gamma");
+        Tk.Core.update app;
+        click ~fy:0.1 app ".l";
+        (* The first visible line is under y = 10% of a 5-row listbox. *)
+        check_string "curselection" "0" (run app ".l curselection");
+        check_string "selection get" "alpha" (run app "selection get") );
+    ( "select from/to extends the selection",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l");
+        ignore (run app ".l insert end a b c d e");
+        ignore (run app ".l select from 1");
+        ignore (run app ".l select to 3");
+        check_string "range" "1 2 3" (run app ".l curselection");
+        check_string "selection" "b\nc\nd" (run app "selection get") );
+    ( "losing the selection clears the highlight",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l1; listbox .l2");
+        ignore (run app ".l1 insert end a b; .l2 insert end x y");
+        ignore (run app ".l1 select from 0");
+        check_string "l1 selected" "0" (run app ".l1 curselection");
+        ignore (run app ".l2 select from 1");
+        Tk.Core.update app;
+        check_string "l1 cleared" "" (run app ".l1 curselection");
+        check_string "l2 selected" "1" (run app ".l2 curselection") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry and scale *)
+
+let entry_tests =
+  [
+    ( "insert/delete/get/icursor",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "entry .e");
+        ignore (run app ".e insert 0 hello");
+        check_string "contents" "hello" (run app ".e get");
+        ignore (run app ".e insert end !");
+        check_string "append" "hello!" (run app ".e get");
+        ignore (run app ".e delete 0 2");
+        check_string "deleted" "llo!" (run app ".e get");
+        ignore (run app ".e icursor end");
+        check_string "cursor index" "4" (run app ".e index cursor") );
+    ( "typing inserts at the cursor",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "entry .e");
+        ignore (run app "pack append . .e {top}");
+        Tk.Core.update app;
+        ignore (run app "focus .e");
+        Server.inject_string server "abc";
+        Tk.Core.update app;
+        check_string "typed" "abc" (run app ".e get");
+        Server.inject_key server ~keysym:"BackSpace" ~pressed:true;
+        Tk.Core.update app;
+        check_string "backspace" "ab" (run app ".e get") );
+    ( "paper §5: Control-w backspace-over-word via a user binding",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "entry .e");
+        ignore (run app "pack append . .e {top}");
+        Tk.Core.update app;
+        ignore (run app "focus .e");
+        (* The application needs no modification: the binding uses the
+           entry's own widget commands, as the paper argues. *)
+        ignore
+          (run app
+             "bind .e <Control-w> {\n\
+             \  set s [.e get]\n\
+             \  set i [.e index cursor]\n\
+             \  set j $i\n\
+             \  while {$j > 0 && [string index $s [expr $j-1]] == \" \"} {set j [expr $j-1]}\n\
+             \  while {$j > 0 && [string index $s [expr $j-1]] != \" \"} {set j [expr $j-1]}\n\
+             \  .e delete $j $i\n\
+              }");
+        Server.inject_string server "hello brave world";
+        Tk.Core.update app;
+        Server.inject_key server ~keysym:"Control_L" ~pressed:true;
+        Server.inject_key server ~keysym:"w" ~pressed:true;
+        Server.inject_key server ~keysym:"w" ~pressed:false;
+        Server.inject_key server ~keysym:"Control_L" ~pressed:false;
+        Tk.Core.update app;
+        check_string "word erased" "hello brave " (run app ".e get") );
+    ( "scale set/get and command",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "scale .s -from 0 -to 100 -command {set v}");
+        ignore (run app ".s set 40");
+        check_string "value" "40" (run app ".s get");
+        check_bool "set does not notify" true
+          (Tcl.Interp.get_var app.Tk.Core.interp "v" = None) );
+    ( "clicking a scale moves its value and notifies",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "scale .s -from 0 -to 100 -length 100 -command {set v}");
+        ignore (run app "pack append . .s {top}");
+        Tk.Core.update app;
+        let x, y = widget_point app ".s" ~fx:0.5 ~fy:0.8 in
+        Server.inject_motion server ~x ~y;
+        Server.inject_button server ~button:1 ~pressed:true;
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        let v = int_of_string (run app "set v") in
+        check_bool "moved near midpoint" true (v > 30 && v < 70) );
+    ( "scale clamps to its range",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "scale .s -from 10 -to 20");
+        ignore (run app ".s set 99");
+        check_string "clamped high" "20" (run app ".s get");
+        ignore (run app ".s set 0");
+        check_string "clamped low" "10" (run app ".s get") );
+    ( "message wraps text to its width",
+      fun () ->
+        let font = Option.get (Font.parse "fixed") in
+        let lines =
+          Tk_widgets.Message.wrap_text font ~width:(10 * font.Font.char_width)
+            "aaa bbb ccc ddd eee"
+        in
+        check_bool "wrapped into multiple lines" true (List.length lines >= 2);
+        List.iter
+          (fun l ->
+            check_bool "each line fits" true
+              (Font.text_width font l <= 10 * font.Font.char_width))
+          lines );
+    ( "message preserves explicit newlines",
+      fun () ->
+        let font = Option.get (Font.parse "fixed") in
+        let lines = Tk_widgets.Message.wrap_text font ~width:1000 "a\nb" in
+        check_int "two lines" 2 (List.length lines) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Menus *)
+
+let menu_tests =
+  [
+    ( "add entries and invoke by index",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "menu .m");
+        ignore (run app ".m add command -label Open -command {set did open}");
+        ignore (run app ".m add separator");
+        ignore (run app ".m add command -label Quit -command {set did quit}");
+        check_string "size" "3" (run app ".m size");
+        ignore (run app ".m invoke 0");
+        check_string "open" "open" (run app "set did");
+        ignore (run app ".m invoke Quit");
+        check_string "quit by label" "quit" (run app "set did") );
+    ( "post maps the menu, unpost hides it",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "menu .m");
+        ignore (run app ".m add command -label A -command {}");
+        ignore (run app ".m post 50 60");
+        Tk.Core.update app;
+        check_bool "mapped" true (Tk.Core.lookup_exn app ".m").Tk.Core.mapped;
+        ignore (run app ".m unpost");
+        Tk.Core.update app;
+        check_bool "unmapped" false (Tk.Core.lookup_exn app ".m").Tk.Core.mapped );
+    ( "clicking a posted entry invokes and unposts",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "menu .m");
+        ignore (run app ".m add command -label First -command {set hit first}");
+        ignore (run app ".m add command -label Second -command {set hit second}");
+        ignore (run app ".m post 10 10");
+        Tk.Core.update app;
+        let x, y = widget_point app ".m" ~fx:0.5 ~fy:0.7 in
+        Server.inject_motion server ~x ~y;
+        Server.inject_button server ~button:1 ~pressed:true;
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        check_string "second entry hit" "second" (run app "set hit");
+        check_bool "unposted" false (Tk.Core.lookup_exn app ".m").Tk.Core.mapped );
+    ( "menubutton posts its menu on press",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "menubutton .mb -text File -menu .mb.m");
+        ignore (run app "menu .mb.m");
+        ignore (run app ".mb.m add command -label New -command {}");
+        ignore (run app "pack append . .mb {top}");
+        Tk.Core.update app;
+        let x, y = widget_point app ".mb" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x ~y;
+        Server.inject_button server ~button:1 ~pressed:true;
+        Tk.Core.update app;
+        check_bool "posted" true (Tk.Core.lookup_exn app ".mb.m").Tk.Core.mapped );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* send (§6) *)
+
+let send_tests =
+  [
+    ( "send evaluates a command in another application",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run b "set x 0");
+        ignore (run a "send beta {set x 42}");
+        check_string "remote variable set" "42" (run b "set x") );
+    ( "send returns the remote result",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let _b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        check_string "result" "7" (run a "send beta {expr 3 + 4}") );
+    ( "remote errors propagate to the sender",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let _b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        let msg = run a "catch {send beta {error remote-boom}} err; set err" in
+        check_bool "error text" true (contains ~needle:"remote-boom" msg) );
+    ( "send to an unknown application fails",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let msg = run a "catch {send nosuchapp {set x 1}} err; set err" in
+        check_bool "no interpreter" true
+          (contains ~needle:"no registered interpreter" msg) );
+    ( "winfo interps lists registered applications",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let _b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        let interps = run a "winfo interps" in
+        check_bool "alpha" true (contains ~needle:"alpha" interps);
+        check_bool "beta" true (contains ~needle:"beta" interps) );
+    ( "duplicate names get unique suffixes",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"app" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"app" () in
+        check_string "first" "app" a.Tk.Core.app_name;
+        check_string "second" "app #2" b.Tk.Core.app_name );
+    ( "nested send: target sends back to the sender",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let _b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run a "set here 1");
+        let v = run a "send beta {send alpha {set here}}" in
+        check_string "round trip" "1" v );
+    ( "send can drive another app's interface (§6 debugger/editor)",
+      fun () ->
+        let server = Server.create () in
+        let dbg = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"debugger" () in
+        let ed = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"editor" () in
+        ignore (run ed "listbox .src");
+        ignore (run ed ".src insert end {line 1} {line 2} {line 3}");
+        (* The debugger highlights the current line in the editor. *)
+        ignore (run dbg "send editor {.src select from 1}");
+        check_string "highlighted remotely" "1" (run ed ".src curselection") );
+    ( "destroyed app disappears from the registry",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        Tk.Core.destroy_app b;
+        let interps = run a "winfo interps" in
+        check_bool "beta gone" false (contains ~needle:"beta" interps) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Selection across applications (§3.6) *)
+
+let selection_tests =
+  [
+    ( "selection get crosses application boundaries",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run a "listbox .l");
+        ignore (run a ".l insert end shared-data other");
+        ignore (run a ".l select from 0");
+        Tk.Core.update_all server;
+        check_string "remote retrieve" "shared-data" (run b "selection get") );
+    ( "selection handlers may be written in Tcl (§3.6)",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run a "frame .f");
+        ignore (run a "proc give_selection {offset maxbytes} {return handler-result}");
+        ignore (run a "selection handle .f give_selection");
+        ignore (run a "selection own .f");
+        Tk.Core.update_all server;
+        check_string "tcl handler answers" "handler-result"
+          (run b "selection get") );
+    ( "selection get with no owner fails",
+      fun () ->
+        let _, app = fresh_app () in
+        let msg = run app "catch {selection get} err; set err" in
+        check_bool "error" true (contains ~needle:"selection doesn't exist" msg) );
+    ( "claiming in one app clears the other (ICCCM)",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run a "listbox .l; .l insert end one; .l select from 0");
+        Tk.Core.update_all server;
+        ignore (run b "listbox .l; .l insert end two; .l select from 0");
+        Tk.Core.update_all server;
+        check_string "b now owns" "" (run a ".l curselection");
+        check_string "retrieval from b" "two" (run a "selection get") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* grab, history, after cancel *)
+
+let misc_tests =
+  [
+    ( "grab confines pointer events to a subtree",
+      fun () ->
+        let _server, app = fresh_app () in
+        ignore (run app "button .inside -text In -command {set hit inside}");
+        ignore (run app "button .outside -text Out -command {set hit outside}");
+        ignore (run app "pack append . .inside {top} .outside {top}");
+        Tk.Core.update app;
+        ignore (run app "grab set .inside");
+        check_string "current" ".inside" (run app "grab current");
+        click app ".outside";
+        check_bool "outside click swallowed" true
+          (Tcl.Interp.get_var app.Tk.Core.interp "hit" = None);
+        click app ".inside";
+        check_string "inside click works" "inside" (run app "set hit");
+        ignore (run app "grab release .inside");
+        click app ".outside";
+        check_string "after release" "outside" (run app "set hit") );
+    ( "after cancel prevents the script",
+      fun () ->
+        let _, app = fresh_app () in
+        let now = ref 0.0 in
+        Tk.Dispatch.set_clock app.Tk.Core.disp (fun () -> !now);
+        let id = run app "after 100 {set fired 1}" in
+        ignore (run app (Printf.sprintf "after cancel %s" id));
+        now := 1.0;
+        Tk.Core.update app;
+        check_bool "not fired" true
+          (Tcl.Interp.get_var app.Tk.Core.interp "fired" = None) );
+    ( "tkwait variable pumps events until the variable is set",
+      fun () ->
+        let _, app = fresh_app () in
+        let now = ref 0.0 in
+        Tk.Dispatch.set_clock app.Tk.Core.disp (fun () -> !now);
+        (* The timer fires while tkwait is pumping the event loop. *)
+        ignore (run app "after 50 {set answer yes}");
+        now := 0.1;
+        ignore (run app "tkwait variable answer");
+        check_string "set during wait" "yes" (run app "set answer") );
+    ( "modal dialog pattern: grab + tkwait + destroy",
+      fun () ->
+        let _, app = fresh_app () in
+        let now = ref 0.0 in
+        Tk.Dispatch.set_clock app.Tk.Core.disp (fun () -> !now);
+        ignore
+          (run app
+             "proc ask {} {\n\
+              global dlg_answer\n\
+              frame .dlg\n\
+              button .dlg.yes -text Yes -command {set dlg_answer yes}\n\
+              pack append .dlg .dlg.yes {top}\n\
+              place .dlg -x 10 -y 10\n\
+              grab set .dlg\n\
+              tkwait variable dlg_answer\n\
+              grab release .dlg\n\
+              destroy .dlg\n\
+              return $dlg_answer\n\
+              }");
+        ignore (run app "after 20 {.dlg.yes invoke}");
+        now := 0.05;
+        check_string "answer" "yes" (run app "ask");
+        check_string "cleaned up" "0" (run app "winfo exists .dlg");
+        check_string "grab released" "" (run app "grab current") );
+    ( "history records interactive events",
+      fun () ->
+        let _, app = fresh_app () in
+        let interp = app.Tk.Core.interp in
+        Tcl.Interp.set_history_recording interp true;
+        Tcl.Interp.record_history_event interp "set a 1";
+        ignore (run app "set a 1");
+        Tcl.Interp.record_history_event interp "set b 2";
+        ignore (run app "set b 2");
+        Tcl.Interp.record_history_event interp "history nextid";
+        check_string "nextid" "4" (run app "history nextid");
+        check_string "event 1" "set a 1" (run app "history event 1") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Integration: the complete Figure 9 browser, driven end-to-end *)
+
+let figure9_integration =
+  [
+    ( "Figure 9 script runs, selects, browses and quits",
+      fun () ->
+        let dir = Filename.temp_file "fig9" "" in
+        Sys.remove dir;
+        Sys.mkdir dir 0o755;
+        Out_channel.with_open_text (Filename.concat dir "afile") (fun oc ->
+            Out_channel.output_string oc "x\n");
+        Sys.mkdir (Filename.concat dir "subdir") 0o755;
+        let server = Server.create () in
+        let app =
+          Tk_widgets.Tk_widgets_lib.new_app ~app_class:"Wish" ~server
+            ~name:"browse" ()
+        in
+        let output = Buffer.create 128 in
+        Tcl.Interp.set_output app.Tk.Core.interp (Buffer.add_string output);
+        Tcl.Interp.set_var app.Tk.Core.interp "argv"
+          (Tcl.Tcl_list.format [ dir ]);
+        Tcl.Interp.set_var app.Tk.Core.interp "argc" "1";
+        ignore
+          (run app
+             {|scrollbar .scroll -command ".list view"
+listbox .list -scroll ".scroll set" -relief raised -geometry 20x20
+pack append . .scroll {right filly} .list {left expand fill}
+proc browse {dir file} {
+  if {[string compare $dir "."] != 0} {set file $dir/$file}
+  if [file $file isdirectory] {
+    print "DIR $file\n"
+  } else {
+    if [file $file isfile] {print "FILE $file\n"} else {print "ODD $file\n"}
+  }
+}
+if $argc>0 {set dir [index $argv 0]} else {set dir "."}
+foreach i [exec ls -a $dir] {
+  .list insert end $i
+}
+bind .list <space> {foreach i [selection get] {browse $dir $i}}
+bind .list <Control-q> {destroy .}|});
+        Tk.Core.update app;
+        (* ls -a gives . .. afile subdir; select "afile" (row 2). *)
+        check_string "4 items" "4" (run app ".list size");
+        let listbox = Tk.Core.lookup_exn app ".list" in
+        let win =
+          Option.get (Server.lookup_window server listbox.Tk.Core.win)
+        in
+        let origin = Window.root_position win in
+        Server.inject_motion server ~x:(origin.Geom.x + 20)
+          ~y:(origin.Geom.y + 4 + (2 * 13));
+        Server.inject_button server ~button:1 ~pressed:true;
+        (* Drag to row 3 to select afile and subdir. *)
+        Server.inject_motion server ~x:(origin.Geom.x + 20)
+          ~y:(origin.Geom.y + 4 + (3 * 13));
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        check_string "selection" "2 3" (run app ".list curselection");
+        Server.inject_key server ~keysym:"space" ~pressed:true;
+        Tk.Core.update app;
+        let out = Buffer.contents output in
+        check_bool "file browsed" true
+          (contains ~needle:("FILE " ^ dir ^ "/afile") out);
+        check_bool "dir browsed" true
+          (contains ~needle:("DIR " ^ dir ^ "/subdir") out);
+        (* Control-q destroys the application. *)
+        Server.inject_key server ~keysym:"Control_L" ~pressed:true;
+        Server.inject_key server ~keysym:"q" ~pressed:true;
+        Tk.Core.update app;
+        check_bool "destroyed" true app.Tk.Core.app_destroyed );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering sanity: widgets appear in screen dumps *)
+
+let render_tests =
+  [
+    ( "a packed UI renders its labels",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .ok -text OK");
+        ignore (run app "label .title -text Files");
+        ignore (run app "pack append . .title {top} .ok {top}");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "title" true (contains ~needle:"Files" dump);
+        check_bool "button" true (contains ~needle:"OK" dump) );
+    ( "listbox contents render in order",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l -geometry 12x4");
+        ignore (run app "pack append . .l {top}");
+        ignore (run app ".l insert end first second third");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "first" true (contains ~needle:"first" dump);
+        check_bool "second" true (contains ~needle:"second" dump) );
+    ( "destroyed widgets disappear from the dump",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b -text Victim");
+        ignore (run app "pack append . .b {top}");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "visible" true (contains ~needle:"Victim" dump);
+        ignore (run app "destroy .b");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "gone" false (contains ~needle:"Victim" dump) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Text widget *)
+
+let text_tests =
+  [
+    ( "insert and get with line.char indices",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t insert end {hello\nworld}");
+        check_string "lines" "2" (run app ".t lines");
+        check_string "get range" "hello" (run app ".t get 1.0 1.5");
+        check_string "get across lines" "lo\nwo" (run app ".t get 1.3 2.2");
+        check_string "whole buffer" "hello\nworld" (run app ".t get 1.0 end") );
+    ( "insert in the middle of a line",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t insert end {hero}");
+        ignore (run app ".t insert 1.2 {llo the}");
+        check_string "spliced" "hello thero" (run app ".t get 1.0 end") );
+    ( "delete joins lines",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t insert end {ab\ncd}");
+        ignore (run app ".t delete 1.2 2.0");
+        check_string "joined" "abcd" (run app ".t get 1.0 end");
+        check_string "one line" "1" (run app ".t lines") );
+    ( "index normalisation and end",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t insert end {abc\nde}");
+        check_string "end" "2.2" (run app ".t index end");
+        check_string "clamped" "2.2" (run app ".t index 9.99");
+        check_string "line end" "1.3" (run app ".t index 1.end") );
+    ( "typing at the keyboard edits the buffer",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "text .t -width 20 -height 5");
+        ignore (run app "pack append . .t {top}");
+        Tk.Core.update app;
+        ignore (run app "focus .t");
+        Server.inject_string server "hi";
+        Server.inject_key server ~keysym:"Return" ~pressed:true;
+        Server.inject_string server "there";
+        Tk.Core.update app;
+        check_string "typed" "hi\nthere" (run app ".t get 1.0 end");
+        Server.inject_key server ~keysym:"BackSpace" ~pressed:true;
+        Tk.Core.update app;
+        check_string "backspace" "hi\nther" (run app ".t get 1.0 end");
+        check_string "cursor" "2.4" (run app ".t mark insert") );
+    ( "backspace at line start joins lines",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app "pack append . .t {top}");
+        Tk.Core.update app;
+        ignore (run app ".t insert end {ab\ncd}");
+        ignore (run app ".t mark set insert 2.0");
+        ignore (run app "focus .t");
+        Server.inject_key server ~keysym:"BackSpace" ~pressed:true;
+        Tk.Core.update app;
+        check_string "joined" "abcd" (run app ".t get 1.0 end") );
+    ( "selection tag claims the X selection",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t insert end {pick me\nnot me}");
+        ignore (run app ".t tag add sel 1.0 1.7");
+        check_string "ranges" "1.0 1.7" (run app ".t tag ranges sel");
+        check_string "selection" "pick me" (run app "selection get") );
+    ( "view scrolls and reports",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t -height 3");
+        for i = 1 to 10 do
+          ignore (run app (Printf.sprintf ".t insert end {line%d\n}" i))
+        done;
+        ignore (run app ".t view 4");
+        check_string "top" "4" (run app ".t view") );
+    ( "renders its visible lines",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t -width 16 -height 3");
+        ignore (run app "pack append . .t {top}");
+        ignore (run app ".t insert end {alpha\nbeta\ngamma\ndelta}");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "alpha visible" true (contains ~needle:"alpha" dump);
+        check_bool "delta off-screen" false (contains ~needle:"delta" dump);
+        ignore (run app ".t view 2");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "delta now visible" true (contains ~needle:"delta" dump) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Canvas (the §5 "drawing commands" extension) *)
+
+let canvas_tests =
+  [
+    ( "create returns item ids; itemcount tracks",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "canvas .c -width 120 -height 60");
+        let id1 = run app ".c create line 0 0 50 0" in
+        let id2 = run app ".c create rectangle 10 10 40 30" in
+        check_bool "distinct ids" true (id1 <> id2);
+        check_string "count" "2" (run app ".c itemcount");
+        check_string "type" "line" (run app (".c type " ^ id1)) );
+    ( "coords query and move",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "canvas .c");
+        let id = run app ".c create rectangle 10 10 30 20" in
+        check_string "coords" "10 10 30 20" (run app (".c coords " ^ id));
+        ignore (run app (".c move " ^ id ^ " 5 7"));
+        check_string "moved" "15 17 35 27" (run app (".c coords " ^ id)) );
+    ( "delete removes items",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "canvas .c");
+        let id = run app ".c create line 0 0 10 10" in
+        ignore (run app ".c create line 0 0 20 20");
+        ignore (run app (".c delete " ^ id));
+        check_string "one left" "1" (run app ".c itemcount");
+        ignore (run app ".c delete all");
+        check_string "empty" "0" (run app ".c itemcount") );
+    ( "text items render into the dump",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "canvas .c -width 160 -height 60");
+        ignore (run app "pack append . .c {top}");
+        ignore (run app ".c create text 20 26 -text {drawn on canvas}");
+        Tk.Core.update app;
+        let dump = Raster.render app.Tk.Core.server () in
+        check_bool "text present" true (contains ~needle:"drawn on canvas" dump) );
+    ( "wrong coordinate count is an error",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "canvas .c");
+        let msg = run app "catch {.c create line 1 2 3} err; set err" in
+        check_bool "coordinate error" true
+          (contains ~needle:"wrong # coordinates" msg) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The placer *)
+
+let place_tests =
+  [
+    ( "absolute placement",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "frame .f -width 30 -height 20");
+        ignore (run app "place .f -x 15 -y 25");
+        Tk.Core.update app;
+        let w = Tk.Core.lookup_exn app ".f" in
+        check_int "x" 15 w.Tk.Core.x;
+        check_int "y" 25 w.Tk.Core.y;
+        check_bool "mapped" true w.Tk.Core.mapped );
+    ( "relative placement follows the master size",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "frame .f -width 10 -height 10");
+        let main = Tk.Core.main_widget app in
+        Tk.Core.move_resize main ~x:main.Tk.Core.x ~y:main.Tk.Core.y
+          ~width:200 ~height:100;
+        ignore (run app "place .f -relx 0.5 -rely 0.5");
+        Tk.Core.update app;
+        let w = Tk.Core.lookup_exn app ".f" in
+        check_int "x = half master" 100 w.Tk.Core.x;
+        check_int "y = half master" 50 w.Tk.Core.y );
+    ( "place forget unmaps",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "frame .f -width 10 -height 10");
+        ignore (run app "place .f -x 0 -y 0");
+        Tk.Core.update app;
+        ignore (run app "place forget .f");
+        Tk.Core.update app;
+        check_bool "unmapped" false (Tk.Core.lookup_exn app ".f").Tk.Core.mapped );
+    ( "placing a packed window removes it from the packer",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "frame .f -width 10 -height 10");
+        ignore (run app "pack append . .f {top}");
+        ignore (run app "place .f -x 3 -y 4");
+        Tk.Core.update app;
+        check_string "not a pack slave" "" (run app "pack slaves .");
+        let w = Tk.Core.lookup_exn app ".f" in
+        check_int "placed" 3 w.Tk.Core.x );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: destruction during callbacks, re-entrancy, bad input *)
+
+let robustness_tests =
+  [
+    ( "a button may destroy itself from its own -command",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b -text Bye -command {destroy .b}");
+        ignore (run app "pack append . .b {top}");
+        Tk.Core.update app;
+        click app ".b";
+        check_string "gone" "0" (run app "winfo exists .b");
+        (* The event loop keeps working afterwards. *)
+        Tk.Core.update app;
+        ignore (run app "button .c -text ok");
+        check_string "new widget fine" "1" (run app "winfo exists .c") );
+    ( "a binding may destroy its own widget via %W",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "frame .f -width 40 -height 30");
+        ignore (run app "pack append . .f {top}");
+        Tk.Core.update app;
+        ignore (run app "bind .f <Button-1> {destroy %W}");
+        let x, y = widget_point app ".f" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x ~y;
+        Server.inject_button server ~button:1 ~pressed:true;
+        Server.inject_button server ~button:1 ~pressed:false;
+        Tk.Core.update app;
+        check_string "destroyed by its binding" "0" (run app "winfo exists .f") );
+    ( "widget command on a destroyed widget is a clean error",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .b");
+        ignore (run app "destroy .b");
+        let msg = run app "catch {.b configure -text x} err; set err" in
+        check_bool "clean error" true
+          (contains ~needle:"invalid command name" msg
+          || contains ~needle:"bad window path" msg) );
+    ( "remote script may destroy widgets in the target",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        ignore (run b "button .victim");
+        ignore (run a "send beta {destroy .victim}");
+        check_string "destroyed remotely" "0" (run b "winfo exists .victim") );
+    ( "deeply nested sends terminate",
+      fun () ->
+        let server = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
+        let _b = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
+        (* ping-pong: alpha asks beta to ask alpha ... 5 levels deep. *)
+        ignore
+          (run a
+             "proc ping {n} {if {$n <= 0} {return done}; send beta \"send \
+              alpha {ping [expr $n - 1]}\"}");
+        check_string "bottomed out" "done" (run a "ping 5") );
+    ( "after script errors go to the error handler",
+      fun () ->
+        let _, app = fresh_app () in
+        let errors = ref [] in
+        app.Tk.Core.error_handler <- (fun m -> errors := m :: !errors);
+        let now = ref 0.0 in
+        Tk.Dispatch.set_clock app.Tk.Core.disp (fun () -> !now);
+        ignore (run app "after 10 {error timer-boom}");
+        now := 1.0;
+        Tk.Core.update app;
+        check_int "one error" 1 (List.length !errors);
+        check_bool "message" true
+          (contains ~needle:"timer-boom" (List.hd !errors)) );
+    ( "listbox survives deleting the selected range",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "listbox .l");
+        ignore (run app ".l insert end a b c d e");
+        ignore (run app ".l select from 1");
+        ignore (run app ".l select to 3");
+        ignore (run app ".l delete 0 end");
+        check_string "empty" "0" (run app ".l size");
+        check_string "no selection" "" (run app ".l curselection");
+        ignore (run app ".l insert end x");
+        check_string "usable again" "1" (run app ".l size") );
+    ( "entry index clamping",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "entry .e");
+        ignore (run app ".e insert 0 abc");
+        ignore (run app ".e icursor 999");
+        check_string "clamped" "3" (run app ".e index cursor");
+        ignore (run app ".e delete 0 999");
+        check_string "emptied" "" (run app ".e get") );
+    ( "text index clamping and empty-buffer edits",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "text .t");
+        ignore (run app ".t delete 1.0 end");
+        check_string "still one line" "1" (run app ".t lines");
+        ignore (run app ".t insert 99.99 xyz");
+        check_string "clamped insert" "xyz" (run app ".t get 1.0 end") );
+    ( "destroying mid-update does not break sibling redraws",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "button .a -text A -command {destroy .b}");
+        ignore (run app "button .b -text B");
+        ignore (run app "pack append . .a {top} .b {top}");
+        Tk.Core.update app;
+        ignore (run app ".a invoke");
+        (* .b had a pending redraw when it died; update must not crash. *)
+        Tk.Core.update app;
+        check_string "a alive" "1" (run app "winfo exists .a");
+        check_string "b gone" "0" (run app "winfo exists .b") );
+    ( "bgerror proc receives background errors",
+      fun () ->
+        let server, app = fresh_app () in
+        ignore (run app "proc bgerror {msg} {global last_error; set last_error $msg}");
+        ignore (run app "frame .f -width 40 -height 30");
+        ignore (run app "pack append . .f {top}");
+        Tk.Core.update app;
+        ignore (run app "bind .f <Enter> {error enter-boom}");
+        let x, y = widget_point app ".f" ~fx:0.5 ~fy:0.5 in
+        Server.inject_motion server ~x ~y;
+        Tk.Core.update app;
+        check_bool "bgerror called" true
+          (contains ~needle:"enter-boom" (run app "set last_error")) );
+    ( "winfo containing maps coordinates to widgets",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "frame .f -width 60 -height 40");
+        ignore (run app "pack append . .f {top}");
+        Tk.Core.update app;
+        let x, y = widget_point app ".f" ~fx:0.5 ~fy:0.5 in
+        check_string "hit" ".f"
+          (run app (Printf.sprintf "winfo containing %d %d" x y));
+        check_string "miss" ""
+          (run app "winfo containing 900 700") );
+    ( "apps on separate displays do not interfere",
+      fun () ->
+        let server1 = Server.create () in
+        let server2 = Server.create () in
+        let a = Tk_widgets.Tk_widgets_lib.new_app ~server:server1 ~name:"app" () in
+        let b = Tk_widgets.Tk_widgets_lib.new_app ~server:server2 ~name:"app" () in
+        (* Same name is fine on different displays... *)
+        check_string "no rename" "app" b.Tk.Core.app_name;
+        (* ...and send cannot cross displays. *)
+        let msg = run a "catch {send app {set x 1}} err; set err" in
+        (* sending to yourself is legal; ensure it reached app a, not b *)
+        ignore msg;
+        ignore (run a "send app {set here a-side}");
+        check_bool "b untouched" true
+          (Tcl.Interp.get_var b.Tk.Core.interp "here" = None) );
+  ]
+
+let to_alcotest = List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+
+let () =
+  Alcotest.run "widgets"
+    [
+      ("buttons", to_alcotest button_tests);
+      ("listbox-scrollbar", to_alcotest listbox_tests);
+      ("entry-scale-message", to_alcotest entry_tests);
+      ("menus", to_alcotest menu_tests);
+      ("text", to_alcotest text_tests);
+      ("canvas", to_alcotest canvas_tests);
+      ("place", to_alcotest place_tests);
+      ("send", to_alcotest send_tests);
+      ("selection", to_alcotest selection_tests);
+      ("grab-history-after", to_alcotest misc_tests);
+      ("robustness", to_alcotest robustness_tests);
+      ("figure9-integration", to_alcotest figure9_integration);
+      ("rendering", to_alcotest render_tests);
+    ]
