@@ -11,7 +11,13 @@
      screendump ?window?       print an ASCII rendering of the display
      inject motion X Y | button N | key KEYSYM | string TEXT
                                synthesize user input
-     serverstats               print the connection's request counters *)
+     serverstats               print the connection's request counters
+     faultstats                print injected/absorbed fault counters
+
+   The -faults N flag arms the server's fault-injection plan so every
+   N-th request is rejected with an X protocol error — a robustness
+   torture test for scripts and widgets (use faultstats to verify that
+   every injected fault was absorbed). *)
 
 open Xsim
 
@@ -57,7 +63,13 @@ let install_sim_commands app =
          properties %d"
         s.Server.total_requests s.Server.round_trips s.Server.resource_allocs
         s.Server.window_requests s.Server.draw_requests
-        s.Server.property_requests)
+        s.Server.property_requests);
+  Tcl.Interp.register_value interp "faultstats" (fun _ _ ->
+      let server = app.Tk.Core.server in
+      Printf.sprintf "injected %d absorbed %d fallbacks %d"
+        (Server.faults_injected server)
+        (Server.faults_absorbed server)
+        (Tk.Rescache.fallbacks app.Tk.Core.cache))
 
 let run_script app path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -111,19 +123,26 @@ let interactive app =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let rec parse script name stay = function
-    | [] -> (script, name, stay)
-    | "-f" :: path :: rest -> parse (Some path) name stay rest
-    | "-name" :: n :: rest -> parse script (Some n) stay rest
-    | "-stay" :: rest -> parse script name true rest
+  let rec parse script name stay faults = function
+    | [] -> (script, name, stay, faults)
+    | "-f" :: path :: rest -> parse (Some path) name stay faults rest
+    | "-name" :: n :: rest -> parse script (Some n) stay faults rest
+    | "-stay" :: rest -> parse script name true faults rest
+    | "-faults" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some every when every >= 0 -> parse script name stay every rest
+      | Some _ | None ->
+        Printf.eprintf "wish: -faults expects a non-negative integer\n";
+        exit 2)
     | path :: rest when script = None && Sys.file_exists path ->
-      parse (Some path) name stay rest
+      parse (Some path) name stay faults rest
     | arg :: _ ->
-      Printf.eprintf "usage: wish ?-f script? ?-name appName? ?-stay?\n";
+      Printf.eprintf
+        "usage: wish ?-f script? ?-name appName? ?-stay? ?-faults n?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
-  let script, name, stay = parse None None false (List.tl args) in
+  let script, name, stay, faults = parse None None false 0 (List.tl args) in
   let app_name =
     match (name, script) with
     | Some n, _ -> n
@@ -131,6 +150,9 @@ let () =
     | None, None -> "wish"
   in
   let server = Server.create () in
+  (* Armed before the application exists, so even the main window and the
+     send communication window are created under fire. *)
+  if faults > 0 then Server.set_fault_plan server ~fail_every_nth:faults ();
   let app =
     Tk_widgets.Tk_widgets_lib.new_app ~app_class:"Wish" ~server ~name:app_name ()
   in

@@ -153,6 +153,26 @@ let app_of_comm server comm =
 let registry_property = "TK_REGISTRY"
 
 (* ------------------------------------------------------------------ *)
+(* Graceful degradation *)
+
+(* Run [f], absorbing any X protocol error: the error is recorded against
+   the server's fault counters and the operation degrades to [default].
+   This is what makes widget operations on dead windows no-ops and lets
+   the intrinsics ride out injected faults (ROADMAP: robustness). *)
+let absorb app ~default f =
+  try f ()
+  with Xerror.X_error e ->
+    Server.note_absorbed app.server e;
+    default
+
+(* Last-resort net: an X error escaping a Tcl command procedure becomes a
+   script error ("X protocol error: BadWindow ..."), not a crash. *)
+let () =
+  Tcl.Interp.add_exn_translator (function
+    | Xerror.X_error e -> Some (Xerror.describe e)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Widget lookup *)
 
 let lookup app path = Hashtbl.find_opt app.widgets path
@@ -325,7 +345,7 @@ let get_color w switch =
 let get_font w switch =
   match Rescache.font w.app.cache (cget w switch) with
   | Some f -> f
-  | None -> Option.get (Font.parse Font.default_name)
+  | None -> Font.fallback ()
 
 let resolve_option_or_literal w name =
   if String.length name > 0 && name.[0] = '-' then cget w name else name
@@ -361,10 +381,12 @@ let schedule_redraw w =
     w.redraw_pending <- true;
     Dispatch.when_idle w.app.disp (fun () ->
         w.redraw_pending <- false;
-        if (not w.destroyed) && w.mapped then begin
-          Server.clear_window w.app.conn w.win;
-          w.wclass.display w
-        end)
+        if (not w.destroyed) && w.mapped then
+          (* A rejected request mid-repaint leaves the window partially
+             drawn until the next Expose — but the application lives on. *)
+          absorb w.app ~default:() (fun () ->
+              Server.clear_window w.app.conn w.win;
+              w.wclass.display w))
   end
 
 let move_resize w ~x ~y ~width ~height =
@@ -372,7 +394,8 @@ let move_resize w ~x ~y ~width ~height =
     (not w.destroyed)
     && (x <> w.x || y <> w.y || width <> w.width || height <> w.height)
   then begin
-    Server.configure_window w.app.conn ~x ~y ~width ~height w.win;
+    absorb w.app ~default:() (fun () ->
+        Server.configure_window w.app.conn ~x ~y ~width ~height w.win);
     (* Structure cache: mirror the change without waiting for the
        ConfigureNotify round trip. *)
     w.x <- x;
@@ -399,14 +422,14 @@ let request_size w ~width ~height =
 
 let map_widget w =
   if (not w.mapped) && not w.destroyed then begin
-    Server.map_window w.app.conn w.win;
+    absorb w.app ~default:() (fun () -> Server.map_window w.app.conn w.win);
     w.mapped <- true;
     schedule_redraw w
   end
 
 let unmap_widget w =
   if w.mapped && not w.destroyed then begin
-    Server.unmap_window w.app.conn w.win;
+    absorb w.app ~default:() (fun () -> Server.unmap_window w.app.conn w.win);
     w.mapped <- false
   end
 
@@ -636,8 +659,20 @@ let make_widget app ~path ?(data = No_data) wclass ~args =
       | None -> failf "bad window path name \"%s\"" path)
   in
   let win =
-    Server.create_window app.conn ~parent:parent_win ~x:0 ~y:0 ~width:1
-      ~height:1 ~border_width:0
+    let create () =
+      Server.create_window app.conn ~parent:parent_win ~x:0 ~y:0 ~width:1
+        ~height:1 ~border_width:0
+    in
+    (* One retry: an injected fault advances the plan's tick, so the second
+       attempt goes through. A second rejection is reported at the script
+       level instead of unwinding the event loop. *)
+    try create ()
+    with Xerror.X_error e -> (
+      Server.note_absorbed app.server e;
+      try create ()
+      with Xerror.X_error e2 ->
+        Server.note_absorbed app.server e2;
+        failf "couldn't create window for \"%s\": %s" path (Xerror.describe e2))
   in
   let w =
     {
@@ -676,7 +711,7 @@ let make_widget app ~path ?(data = No_data) wclass ~args =
    with e ->
      Hashtbl.remove app.widgets path;
      Hashtbl.remove app.by_xid win;
-     Server.destroy_window app.conn win;
+     absorb app ~default:() (fun () -> Server.destroy_window app.conn win);
      raise e);
   let chain = name_chain w in
   List.iter
@@ -699,7 +734,7 @@ let make_widget app ~path ?(data = No_data) wclass ~args =
   | Some e, () ->
     Hashtbl.remove app.widgets path;
     Hashtbl.remove app.by_xid win;
-    Server.destroy_window app.conn win;
+    absorb app ~default:() (fun () -> Server.destroy_window app.conn win);
     raise e
   | None, () -> ());
   Tcl.Interp.register app.interp path (widget_command w);
@@ -735,6 +770,7 @@ let unregister_app app =
   let apps = registry_for app.server in
   apps := List.filter (fun a -> a != app) !apps;
   (* Remove our name from the display registry property. *)
+  absorb app ~default:() @@ fun () ->
   let root = Server.root app.server in
   match Server.get_property app.conn root ~prop:(Server.intern_atom app.conn registry_property) with
   | None -> ()
@@ -789,7 +825,9 @@ let destroy_widget w =
              (fun a b -> compare (String.length b.path) (String.length a.path))
       in
       List.iter forget_widget doomed;
-      Server.destroy_window app.conn win
+      (* If the server already destroyed the window (or a fault is
+         injected) the widget is gone client-side regardless: no-op. *)
+      absorb app ~default:() (fun () -> Server.destroy_window app.conn win)
     end
 
 (* ------------------------------------------------------------------ *)
@@ -808,12 +846,18 @@ let set_focus app path =
     | Some p -> (
       match lookup app p with
       | Some w when not w.destroyed ->
-        Server.set_input_focus app.conn w.win
+        absorb app ~default:() (fun () ->
+            Server.set_input_focus app.conn w.win)
       | Some _ | None -> ())
-    | None -> Server.set_input_focus app.conn Xid.none
+    | None ->
+      absorb app ~default:() (fun () ->
+          Server.set_input_focus app.conn Xid.none)
   end
 
+(* X errors escaping a class event handler are absorbed here so one dead
+   window (or injected fault) cannot take the event loop down. *)
 let process_one app (d : Event.delivery) =
+  absorb app ~default:() @@ fun () ->
   if List.exists (fun h -> h app d) app.pre_handlers then ()
   else
     match Hashtbl.find_opt app.by_xid d.Event.window with
@@ -978,7 +1022,9 @@ let parse_geometry_spec s =
 
 let container_configure w =
   sync_bg_aliases w;
-  Server.set_window_background w.app.conn w.win (get_color w "-background");
+  absorb w.app ~default:() (fun () ->
+      Server.set_window_background w.app.conn w.win
+        (get_color w "-background"));
   let bw = get_pixels w "-borderwidth" in
   let width = get_pixels w "-width" and height = get_pixels w "-height" in
   (match parse_geometry_spec (get_string w "-geometry") with
@@ -1011,6 +1057,7 @@ let container_class ~name =
 (* Application creation *)
 
 let read_registry app =
+  absorb app ~default:[] @@ fun () ->
   let root = Server.root app.server in
   let prop = Server.intern_atom app.conn registry_property in
   match Server.get_property app.conn root ~prop with
@@ -1028,6 +1075,7 @@ let read_registry app =
         entries)
 
 let write_registry app entries =
+  absorb app ~default:() @@ fun () ->
   let root = Server.root app.server in
   let prop = Server.intern_atom app.conn registry_property in
   Server.change_property app.conn root ~prop ~ptype:Atom.string
@@ -1050,8 +1098,15 @@ let create_app ?(app_class = "Tk") ~server ~name () =
   let conn = Server.connect server ~name in
   let interp = Tcl.Builtins.new_interp () in
   let comm_win =
-    Server.create_window conn ~parent:(Server.root server) ~x:(-10) ~y:(-10)
-      ~width:1 ~height:1 ~border_width:0
+    let create () =
+      Server.create_window conn ~parent:(Server.root server) ~x:(-10) ~y:(-10)
+        ~width:1 ~height:1 ~border_width:0
+    in
+    try create ()
+    with Xerror.X_error e ->
+      (* Retry once under fault injection; see make_widget. *)
+      Server.note_absorbed server e;
+      create ()
   in
   let app =
     {
@@ -1092,16 +1147,29 @@ let create_app ?(app_class = "Tk") ~server ~name () =
   write_registry app (registry @ [ (name, comm_win) ]);
   let apps = registry_for server in
   apps := !apps @ [ app ];
-  (* Background errors (bindings, timers) go to a user-definable Tcl
-     procedure named bgerror when one exists, like in Tk. *)
+  (* Background errors (bindings, timers, file handlers) go to a
+     user-redefinable Tcl procedure: [tkerror] (the paper-era name) when
+     defined, else [bgerror] (its later spelling), else stderr. The event
+     loop keeps running either way. *)
   app.error_handler <-
     (fun msg ->
-      if Tcl.Interp.command_exists app.interp "bgerror" then
-        match Tcl.Interp.eval_words app.interp [ "bgerror"; msg ] with
+      let report proc =
+        match Tcl.Interp.eval_words app.interp [ proc; msg ] with
         | Tcl.Interp.Tcl_error, m ->
-          prerr_endline ("tk: error in bgerror: " ^ m)
+          prerr_endline (Printf.sprintf "tk: error in %s: %s" proc m)
         | _ -> ()
+      in
+      if Tcl.Interp.command_exists app.interp "tkerror" then report "tkerror"
+      else if Tcl.Interp.command_exists app.interp "bgerror" then
+        report "bgerror"
       else prerr_endline ("tk background error: " ^ msg));
+  (* Exceptions escaping timer/idle/file callbacks must not unwind the
+     event loop: X errors are absorbed, script errors become background
+     errors, anything else (e.g. the exit exception) still propagates. *)
+  Dispatch.set_on_error app.disp (function
+    | Xerror.X_error e -> Server.note_absorbed app.server e
+    | Tcl.Interp.Tcl_failure msg -> app.error_handler msg
+    | e -> raise e);
   (* The main window. Our simulated window manager cascades the top-level
      windows of successive applications so they don't cover each other. *)
   let main =

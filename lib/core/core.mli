@@ -152,6 +152,14 @@ val create_app :
 
 val destroy_app : app -> unit
 
+val absorb : app -> default:'a -> (unit -> 'a) -> 'a
+(** Run the thunk, absorbing any {!Xsim.Xerror.X_error}: the error is
+    recorded against the server's fault counters
+    ({!Xsim.Server.note_absorbed}) and the call evaluates to [default].
+    Widget code wraps individual server requests with this so operations
+    on dead windows become no-ops and injected faults degrade gracefully
+    instead of unwinding the event loop. *)
+
 val add_destroy_hook : (app -> unit) -> unit
 (** Run when any application is destroyed; modules keeping per-app side
     tables (packer, placer, selection) use this to drop their state. *)
@@ -291,3 +299,7 @@ val registry_property : string
 
 val read_registry : app -> (string * Xid.t) list
 (** Parse the display's application registry. *)
+
+val write_registry : app -> (string * Xid.t) list -> unit
+(** Replace the display's application registry (exposed so robustness
+    tests can forge stale entries for dead peers). *)

@@ -8,6 +8,7 @@ type t = {
   mutable next_id : int;
   mutable idle : (unit -> unit) list; (* reversed queue *)
   mutable files : (Unix.file_descr * (unit -> unit)) list;
+  mutable on_error : exn -> unit;
 }
 
 let create ?clock () =
@@ -17,9 +18,16 @@ let create ?clock () =
     next_id = 1;
     idle = [];
     files = [];
+    on_error = raise;
   }
 
 let set_clock t clock = t.clock <- clock
+
+let set_on_error t handler = t.on_error <- handler
+
+(* One exploding callback must not take down the event loop — nor the
+   other callbacks due in the same sweep. *)
+let protect t f = try f () with e -> t.on_error e
 
 let now_ms t = int_of_float (t.clock () *. 1000.0)
 
@@ -52,14 +60,14 @@ let run_due_timers t =
     List.partition (fun timer -> timer.deadline <= now) t.timers
   in
   t.timers <- remaining;
-  List.iter (fun timer -> timer.callback ()) due;
+  List.iter (fun timer -> protect t timer.callback) due;
   List.length due
 
 let run_idle t =
   (* Snapshot: callbacks scheduled while running go to the next sweep. *)
   let callbacks = List.rev t.idle in
   t.idle <- [];
-  List.iter (fun f -> f ()) callbacks;
+  List.iter (fun f -> protect t f) callbacks;
   List.length callbacks
 
 let poll_files t ~timeout =
@@ -71,7 +79,7 @@ let poll_files t ~timeout =
       List.iter
         (fun fd ->
           match List.assoc_opt fd t.files with
-          | Some callback -> callback ()
+          | Some callback -> protect t callback
           | None -> ())
         readable;
       List.length readable

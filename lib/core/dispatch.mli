@@ -14,6 +14,12 @@ val create : ?clock:(unit -> float) -> unit -> t
 
 val set_clock : t -> (unit -> float) -> unit
 
+val set_on_error : t -> (exn -> unit) -> unit
+(** Exceptions escaping a timer, idle or file callback are passed to this
+    handler instead of unwinding the event loop (default: re-raise). The
+    application installs a handler that reports background errors to the
+    script level and keeps dispatching. *)
+
 val now_ms : t -> int
 
 val after : t -> ms:int -> (unit -> unit) -> timer_id

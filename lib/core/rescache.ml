@@ -11,6 +11,7 @@ type t = {
   mutable enabled : bool;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable fallback_count : int;
 }
 
 let create conn =
@@ -25,18 +26,31 @@ let create conn =
     enabled = true;
     hit_count = 0;
     miss_count = 0;
+    fallback_count = 0;
   }
 
 let set_enabled t flag = t.enabled <- flag
 
 let normalise name = String.lowercase_ascii (String.trim name)
 
+(* A failed server request (real or fault-injected) degrades to a
+   [fallback] resource rather than propagating: the paper's Tk keeps
+   running on default fonts and monochrome colors when allocations fail.
+   The substitute is cached like a real answer so one fault costs one
+   fallback, deterministically. *)
+let fetch_degraded t fetch fallback name =
+  try fetch t.conn name
+  with Xerror.X_error e ->
+    Server.note_absorbed (Server.server_of t.conn) e;
+    t.fallback_count <- t.fallback_count + 1;
+    Some (fallback name)
+
 (* Generic cached lookup: [fetch] performs the server request. *)
-let lookup t table fetch name =
+let lookup t table fetch fallback name =
   let key = normalise name in
   if not t.enabled then begin
     t.miss_count <- t.miss_count + 1;
-    fetch t.conn name
+    fetch_degraded t fetch fallback name
   end
   else
     match Hashtbl.find_opt table key with
@@ -45,14 +59,25 @@ let lookup t table fetch name =
       Some v
     | None -> (
       t.miss_count <- t.miss_count + 1;
-      match fetch t.conn name with
+      match fetch_degraded t fetch fallback name with
       | Some v ->
         Hashtbl.replace table key v;
         Some v
       | None -> None)
 
+(* Monochrome degradation: light-sounding names stay light, everything
+   else goes black, so reliefs and text remain legible. *)
+let color_fallback name =
+  let n = normalise name in
+  let mentions_white =
+    let nl = String.length n in
+    let rec go i = i + 5 <= nl && (String.sub n i 5 = "white" || go (i + 1)) in
+    go 0
+  in
+  if mentions_white then Color.white else Color.black
+
 let color t name =
-  let result = lookup t t.colors Server.alloc_color name in
+  let result = lookup t t.colors Server.alloc_color color_fallback name in
   (match result with
   | Some c ->
     let hex = Color.to_hex c in
@@ -61,18 +86,25 @@ let color t name =
   | None -> ());
   result
 
-let font t name = lookup t t.fonts Server.open_font name
-let cursor t name = lookup t t.cursors Server.alloc_cursor name
-let bitmap t name = lookup t t.bitmaps Server.alloc_bitmap name
+let font t name =
+  lookup t t.fonts Server.open_font (fun name -> Font.fallback ~name ()) name
+
+let cursor t name =
+  lookup t t.cursors Server.alloc_cursor (fun _ -> Cursor.fallback) name
+
+let bitmap t name =
+  lookup t t.bitmaps Server.alloc_bitmap (fun _ -> Bitmap.fallback ()) name
 
 let color_name t c = Hashtbl.find_opt t.color_names (Color.to_hex c)
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+let fallbacks t = t.fallback_count
 
 let reset_counters t =
   t.hit_count <- 0;
-  t.miss_count <- 0
+  t.miss_count <- 0;
+  t.fallback_count <- 0
 
 let gc t ?(foreground = "black") ?(background = "white") ?font:font_name () =
   let key =
@@ -91,6 +123,14 @@ let gc t ?(foreground = "black") ?(background = "white") ?font:font_name () =
       | Some name -> font t name
       | None -> font t Font.default_name
     in
-    let gc = Server.create_gc t.conn ~foreground:fg ~background:bg ?font:fnt () in
+    let gc =
+      try Server.create_gc t.conn ~foreground:fg ~background:bg ?font:fnt ()
+      with Xerror.X_error e ->
+        (* A rejected GC allocation degrades to a client-side context with
+           a null id: drawing continues with the resolved components. *)
+        Server.note_absorbed (Server.server_of t.conn) e;
+        t.fallback_count <- t.fallback_count + 1;
+        Gcontext.make ~id:Xid.none ~foreground:fg ~background:bg ?font:fnt ()
+    in
     if t.enabled then Hashtbl.replace t.gcs key gc;
     gc

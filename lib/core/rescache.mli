@@ -5,7 +5,13 @@
     use.
 
     Hit/miss counters make the saved server traffic measurable, and the
-    cache can be disabled entirely for the ablation benchmark. *)
+    cache can be disabled entirely for the ablation benchmark.
+
+    The cache is also the degradation point for failed resource requests:
+    when the server rejects an allocation (a genuine error or an injected
+    fault), the lookup falls back to a guaranteed resource — the "fixed"
+    font, black/white colors, the default cursor, a built-in stipple — and
+    counts the substitution instead of propagating the error. *)
 
 type t
 
@@ -27,6 +33,11 @@ val color_name : t -> Xsim.Color.t -> string option
 
 val hits : t -> int
 val misses : t -> int
+
+val fallbacks : t -> int
+(** How many lookups degraded to a fallback resource after a failed
+    server request. *)
+
 val reset_counters : t -> unit
 
 val gc :

@@ -8,6 +8,10 @@ let interps app = List.map fst (Core.read_registry app)
 (* Handle one incoming send request: read and delete the script property,
    evaluate, write the result property on the sender's window. *)
 let handle_incoming app =
+  (* The sender may die between posting the script and our reply: writing
+     the result property then raises BadWindow, which we absorb (there is
+     nobody left to answer). *)
+  Core.absorb app ~default:() @@ fun () ->
   let prop = Server.intern_atom app.Core.conn script_property in
   match Server.get_property app.Core.conn app.Core.comm_win ~prop with
   | None -> ()
@@ -47,12 +51,23 @@ let pre_handler app (d : Event.delivery) =
     | Event.Property_notify { prop_deleted = true; _ } -> true
     | _ -> false
 
-let send app ~target script =
+let rec send app ~target script =
   let registry = Core.read_registry app in
   match List.assoc_opt target registry with
   | None ->
     Error (Printf.sprintf "no registered interpreter named \"%s\"" target)
-  | Some target_comm ->
+  | Some target_comm -> (
+    try
+      send_to app ~target ~target_comm script
+    with Xerror.X_error e ->
+      (* The registry entry was stale: the peer's communication window is
+         gone. Report a Tcl-level error, not an exception. *)
+      Server.note_absorbed app.Core.server e;
+      Error
+        (Printf.sprintf "target application \"%s\" died (%s)" target
+           (Xerror.code_name e.Xerror.code)))
+
+and send_to app ~target ~target_comm script =
     app.Core.send_serial <- app.Core.send_serial + 1;
     let serial = string_of_int app.Core.send_serial in
     let script_prop = Server.intern_atom app.Core.conn script_property in

@@ -269,8 +269,9 @@ let cmd_wm app : Tcl.Interp.command =
     app.Core.title <- title;
     (* Published as WM_NAME so the (simulated) window manager can draw a
        title bar, as twm does in the paper's Figure 10. *)
-    Xsim.Server.change_property app.Core.conn w.Core.win
-      ~prop:Xsim.Atom.wm_name ~ptype:Xsim.Atom.string title;
+    Core.absorb app ~default:() (fun () ->
+        Xsim.Server.change_property app.Core.conn w.Core.win
+          ~prop:Xsim.Atom.wm_name ~ptype:Xsim.Atom.string title);
     ok ""
   | [ _; "geometry"; path; geometry ] -> (
     let w = Core.lookup_exn app path in

@@ -48,13 +48,18 @@ let cmd_info t words =
     else
       Tcl_list.format
         (filter_glob pattern (var_names t ~local:true ~global:false))
+  | [ _; "errorinfo" ] ->
+    (* The stack trace of the most recent error (also in the global
+       variable errorInfo, as in real Tcl). *)
+    get_error_info t
   | [ _; "level" ] -> string_of_int (current_level t)
   | [ _; "cmdcount" ] -> string_of_int (command_count t)
   | [ _; "tclversion" ] -> "6.0"
   | _ :: sub :: _ ->
     failf
       "bad option \"%s\": should be args, body, cmdcount, commands, \
-       default, exists, globals, level, locals, procs, tclversion, or vars"
+       default, errorinfo, exists, globals, level, locals, procs, \
+       tclversion, or vars"
       sub
   | _ -> wrong_args "info option ?arg arg ...?"
 

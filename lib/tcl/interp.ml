@@ -10,6 +10,16 @@ exception Propagate of status * string
 
 let failf fmt = Format.kasprintf (fun msg -> raise (Tcl_failure msg)) fmt
 
+(* Host-embedding hook: foreign exceptions (e.g. the toolkit's X protocol
+   errors) raised inside command procedures are translated into ordinary
+   Tcl errors instead of unwinding the evaluator. Newest-registered
+   translator wins; [None] declines. *)
+let exn_translators : (exn -> string option) list ref = ref []
+
+let add_exn_translator f = exn_translators := f :: !exn_translators
+
+let translate_exn e = List.find_map (fun f -> f e) !exn_translators
+
 let wrong_args usage = failf "wrong # args: should be \"%s\"" usage
 
 let ok v = (Tcl_ok, v)
@@ -585,14 +595,22 @@ and invoke t words =
     | Some (Builtin cmd) -> (
       try cmd t words with
       | Tcl_failure msg -> (Tcl_error, msg)
-      | Expr.Error msg -> (Tcl_error, msg))
+      | Expr.Error msg -> (Tcl_error, msg)
+      | e -> (
+        match translate_exn e with
+        | Some msg -> (Tcl_error, msg)
+        | None -> raise e))
     | Some (Proc { formals; body }) -> call_proc t name formals body words
     | None -> (
       match Hashtbl.find_opt t.commands "unknown" with
       | Some (Builtin cmd) -> (
         try cmd t ("unknown" :: words) with
         | Tcl_failure msg -> (Tcl_error, msg)
-        | Expr.Error msg -> (Tcl_error, msg))
+        | Expr.Error msg -> (Tcl_error, msg)
+        | e -> (
+          match translate_exn e with
+          | Some msg -> (Tcl_error, msg)
+          | None -> raise e))
       | Some (Proc { formals; body }) ->
         call_proc t "unknown" formals body ("unknown" :: words)
       | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name)))

@@ -38,6 +38,12 @@ val wrong_args : string -> 'a
 (** [wrong_args usage] raises the standard
     ["wrong # args: should be \"usage\""] error. *)
 
+val add_exn_translator : (exn -> string option) -> unit
+(** Register a (global) hook that translates a foreign exception raised
+    inside a command procedure into a Tcl error message; return [None] to
+    decline. The toolkit uses this to surface X protocol errors as
+    ordinary script errors instead of unwinding the event loop. *)
+
 val ok : string -> result
 (** [(Tcl_ok, value)]. *)
 
@@ -156,3 +162,7 @@ val mark_error_handled : t -> unit
 val trace_error : t -> command:string -> string -> unit
 (** Append one level of error context (used by the evaluator; exposed for
     host applications that run callbacks, like Tk's binding engine). *)
+
+val get_error_info : t -> string
+(** The accumulated stack trace of the most recent error (the value of
+    the global [errorInfo] variable; [""] when no error has occurred). *)

@@ -258,8 +258,10 @@ let make_class () =
   let cls = Tk.Core.make_class ~name:"Listbox" ~specs () in
   cls.Tk.Core.configure_hook <-
     (fun w ->
-      Server.set_window_background w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win
-        (Tk.Core.get_color w "-background");
+      Tk.Core.absorb w.Tk.Core.app ~default:() (fun () ->
+          Server.set_window_background w.Tk.Core.app.Tk.Core.conn
+            w.Tk.Core.win
+            (Tk.Core.get_color w "-background"));
       compute_geometry w;
       Tk.Core.schedule_redraw w);
   cls.Tk.Core.display <- display;

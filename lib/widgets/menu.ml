@@ -71,7 +71,8 @@ let post w ~x ~y =
   compute_geometry w;
   Tk.Core.move_resize w ~x ~y ~width:w.Tk.Core.req_width
     ~height:w.Tk.Core.req_height;
-  Server.raise_window w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win;
+  Tk.Core.absorb w.Tk.Core.app ~default:() (fun () ->
+      Server.raise_window w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win);
   Tk.Core.map_widget w;
   s.posted <- true
 
@@ -218,8 +219,10 @@ let make_menu_class () =
   let cls = Tk.Core.make_class ~name:"Menu" ~specs () in
   cls.Tk.Core.configure_hook <-
     (fun w ->
-      Server.set_window_background w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win
-        (Tk.Core.get_color w "-background");
+      Tk.Core.absorb w.Tk.Core.app ~default:() (fun () ->
+          Server.set_window_background w.Tk.Core.app.Tk.Core.conn
+            w.Tk.Core.win
+            (Tk.Core.get_color w "-background"));
       compute_geometry w;
       Tk.Core.schedule_redraw w);
   cls.Tk.Core.display <- display;
@@ -280,8 +283,10 @@ let make_menubutton_class () =
   let cls = Tk.Core.make_class ~name:"Menubutton" ~specs:menubutton_specs () in
   cls.Tk.Core.configure_hook <-
     (fun w ->
-      Server.set_window_background w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win
-        (Tk.Core.get_color w "-background");
+      Tk.Core.absorb w.Tk.Core.app ~default:() (fun () ->
+          Server.set_window_background w.Tk.Core.app.Tk.Core.conn
+            w.Tk.Core.win
+            (Tk.Core.get_color w "-background"));
       menubutton_geometry w;
       Tk.Core.schedule_redraw w);
   cls.Tk.Core.display <- menubutton_display;
@@ -297,7 +302,9 @@ let install app =
     ~data:(fun () -> Menu_data { entries = []; active = None; posted = false })
     ~post_create:(fun w ->
       (* Menus start unmapped and never participate in packing. *)
-      Server.set_override_redirect w.Tk.Core.app.Tk.Core.conn w.Tk.Core.win true)
+      Tk.Core.absorb w.Tk.Core.app ~default:() (fun () ->
+          Server.set_override_redirect w.Tk.Core.app.Tk.Core.conn
+            w.Tk.Core.win true))
     ();
   Wutil.standard_creator app ~command:"menubutton" ~make:make_menubutton_class
     ()

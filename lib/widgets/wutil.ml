@@ -34,7 +34,7 @@ let draw_anchored_text w ?(fg = "-foreground") ?(font = "-font") ?(dx = 0)
   let fnt =
     match gc.Gcontext.font with
     | Some f -> f
-    | None -> Option.get (Font.parse Font.default_name)
+    | None -> Font.fallback ()
   in
   let bw = Tk.Core.get_pixels w "-borderwidth" in
   let inset = bw + 2 in

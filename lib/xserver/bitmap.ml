@@ -28,6 +28,10 @@ let builtins =
 
 let builtin_names () = List.map fst builtins
 
+(* Built-in pattern used when a bitmap request fails: a 50% stipple keeps
+   stippled drawing visibly dithered instead of crashing. *)
+let fallback () = make_pattern "gray50" 4 4 (fun x y -> (x + y) mod 2 = 0)
+
 (* Minimal XBM reader: find "_width N", "_height N" and the 0xNN bytes. *)
 let parse_xbm ~name contents =
   let find_define key =

@@ -15,5 +15,9 @@ val parse : string -> t option
 
 val builtin_names : unit -> string list
 
+val fallback : unit -> t
+(** The built-in [gray50] pattern, constructed without any lookup; what a
+    degraded bitmap request falls back to. *)
+
 val parse_xbm : name:string -> string -> t option
 (** Parse XBM file contents (exposed for tests). *)

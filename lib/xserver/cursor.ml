@@ -27,4 +27,7 @@ let () = List.iteri (fun i name -> Hashtbl.replace table name (i * 2)) cursor_fo
 let parse name =
   Option.map (fun glyph -> { name; glyph }) (Hashtbl.find_opt table name)
 
+(* The cursor every degraded lookup falls back to: the default X pointer. *)
+let fallback = { name = "left_ptr"; glyph = 68 }
+
 let names () = cursor_font

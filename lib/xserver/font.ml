@@ -68,6 +68,13 @@ let parse name =
       Some { name; family = lower; char_width; ascent; descent; bold = false }
     else None
 
+(* A font that is guaranteed to exist: the "fixed" metrics, built without
+   consulting the alias table so that a corrupt or unknown default name can
+   never abort the process. Degraded rendering beats no rendering. *)
+let fallback ?(name = default_name) () =
+  { name; family = "fixed"; char_width = 6; ascent = 10; descent = 3;
+    bold = false }
+
 let line_height f = f.ascent + f.descent
 
 let text_width f s = String.length s * f.char_width

@@ -19,6 +19,11 @@ type t = {
 val parse : string -> t option
 (** Resolve a font name; [None] if the name matches no known pattern. *)
 
+val fallback : ?name:string -> unit -> t
+(** A font that always exists: the metrics of "fixed", built without any
+    table lookup. Used when a font request fails (or is fault-injected)
+    so text still renders, degraded, instead of crashing. *)
+
 val line_height : t -> int
 (** [ascent + descent]. *)
 

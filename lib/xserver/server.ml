@@ -7,6 +7,22 @@ type stats = {
   mutable property_requests : int;
 }
 
+type req_kind = Resource | Window_op | Draw | Property | Other
+
+(* Deterministic fault-injection plan: a seeded modulo counter plus an
+   optional kind filter and a FIFO of one-shot scripted failures. The
+   injected/absorbed pair is the invariant the robustness tests check:
+   every fault the plan raises must be absorbed by some layer above. *)
+type fault_plan = {
+  mutable fail_every_nth : int; (* 0 = disabled *)
+  mutable fail_kind : req_kind option; (* None = any request class *)
+  mutable fault_seed : int;
+  mutable fault_tick : int;
+  mutable scripted : Xerror.code list;
+  mutable injected : int;
+  mutable absorbed : int;
+}
+
 type t = {
   xids : Xid.allocator;
   atoms : Atom.table;
@@ -21,6 +37,7 @@ type t = {
   mutable focus : Xid.t; (* Xid.none = pointer-root focus *)
   mutable mod_state : Event.state;
   mutable buttons_down : int list;
+  faults : fault_plan;
 }
 
 and connection = {
@@ -69,6 +86,16 @@ let create ?(width = 1024) ?(height = 768) () =
     focus = Xid.none;
     mod_state = Event.empty_state;
     buttons_down = [];
+    faults =
+      {
+        fail_every_nth = 0;
+        fail_kind = None;
+        fault_seed = 0;
+        fault_tick = 0;
+        scripted = [];
+        injected = 0;
+        absorbed = 0;
+      };
   }
 
 let connect server ~name =
@@ -105,11 +132,69 @@ let reset_stats conn =
 let time t = t.clock
 let advance_time t ms = t.clock <- t.clock + max 0 ms
 
-type req_kind = Resource | Window_op | Draw | Property | Other
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+let set_fault_plan t ?(seed = 0) ?(fail_every_nth = 0) ?fail_kind () =
+  let p = t.faults in
+  p.fail_every_nth <- fail_every_nth;
+  p.fail_kind <- fail_kind;
+  p.fault_seed <- seed;
+  p.fault_tick <- 0
+
+let script_fault t code = t.faults.scripted <- t.faults.scripted @ [ code ]
+
+let clear_faults t =
+  let p = t.faults in
+  p.fail_every_nth <- 0;
+  p.fail_kind <- None;
+  p.scripted <- [];
+  p.fault_tick <- 0
+
+let faults_injected t = t.faults.injected
+let faults_absorbed t = t.faults.absorbed
+
+let reset_fault_counters t =
+  t.faults.injected <- 0;
+  t.faults.absorbed <- 0
+
+let note_absorbed t (e : Xerror.info) =
+  if e.Xerror.injected then t.faults.absorbed <- t.faults.absorbed + 1
+
+(* The error code a rejected request of each class would carry. *)
+let code_for_kind = function
+  | Resource -> Xerror.BadAlloc
+  | Window_op -> Xerror.BadWindow
+  | Draw -> Xerror.BadMatch
+  | Property -> Xerror.BadAtom
+  | Other -> Xerror.BadValue
+
+let kind_matches plan kind =
+  match plan.fail_kind with None -> true | Some k -> k = kind
+
+let maybe_inject conn kind resource =
+  let plan = conn.server.faults in
+  let serial = conn.cstats.total_requests in
+  match plan.scripted with
+  | code :: rest when kind_matches plan kind ->
+    plan.scripted <- rest;
+    plan.injected <- plan.injected + 1;
+    Xerror.raise_error ~resource ~serial ~injected:true code
+  | _ ->
+    if plan.fail_every_nth > 0 && kind_matches plan kind then begin
+      plan.fault_tick <- plan.fault_tick + 1;
+      if (plan.fault_tick + plan.fault_seed) mod plan.fail_every_nth = 0
+      then begin
+        plan.injected <- plan.injected + 1;
+        Xerror.raise_error ~resource ~serial ~injected:true
+          (code_for_kind kind)
+      end
+    end
 
 (* Account for one protocol request; the logical clock ticks so event
-   timestamps stay ordered. *)
-let request ?(round_trip = false) conn kind =
+   timestamps stay ordered. The fault plan rejects the request after it
+   has been counted, as a real server rejects a request it received. *)
+let request ?(round_trip = false) ?(resource = Xid.none) conn kind =
   let s = conn.cstats in
   s.total_requests <- s.total_requests + 1;
   if round_trip then s.round_trips <- s.round_trips + 1;
@@ -119,14 +204,17 @@ let request ?(round_trip = false) conn kind =
   | Draw -> s.draw_requests <- s.draw_requests + 1
   | Property -> s.property_requests <- s.property_requests + 1
   | Other -> ());
-  conn.server.clock <- conn.server.clock + 1
+  conn.server.clock <- conn.server.clock + 1;
+  maybe_inject conn kind resource
 
 let lookup_window t id = Hashtbl.find_opt t.windows id
 
-let window_exn t id =
-  match lookup_window t id with
+let window_exn conn id =
+  match lookup_window conn.server id with
   | Some w -> w
-  | None -> failwith (Printf.sprintf "BadWindow: no window 0x%x" id)
+  | None ->
+    Xerror.raise_error ~resource:id ~serial:conn.cstats.total_requests
+      Xerror.BadWindow
 
 let find_connection t cid = List.find_opt (fun c -> c.cid = cid) t.connections
 
@@ -181,9 +269,9 @@ let update_pointer_window t =
 (* Windows *)
 
 let create_window conn ~parent ~x ~y ~width ~height ~border_width =
-  request conn Window_op;
+  request ~resource:parent conn Window_op;
   let t = conn.server in
-  let parent_win = window_exn t parent in
+  let parent_win = window_exn conn parent in
   let id = Xid.fresh t.xids in
   let w =
     Window.create ~id ~owner_cid:conn.cid ~parent:(Some parent_win) ~x ~y
@@ -193,13 +281,15 @@ let create_window conn ~parent ~x ~y ~width ~height ~border_width =
   id
 
 let destroy_window conn id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
   match lookup_window t id with
   | None -> ()
   | Some w ->
     if w.Window.id = t.root_win.Window.id then
-      failwith "cannot destroy the root window";
+      (* X refuses to destroy the root window. *)
+      Xerror.raise_error ~resource:id ~serial:conn.cstats.total_requests
+        Xerror.BadWindow;
     let doomed = Window.descendants w in
     (* Notify deepest-first, as X does. *)
     List.iter
@@ -219,9 +309,9 @@ let destroy_window conn id =
     update_pointer_window t
 
 let map_window conn id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
-  let w = window_exn t id in
+  let w = window_exn conn id in
   if not w.Window.mapped then begin
     w.Window.mapped <- true;
     deliver t w Event.Map_notify;
@@ -230,9 +320,9 @@ let map_window conn id =
   end
 
 let unmap_window conn id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
-  let w = window_exn t id in
+  let w = window_exn conn id in
   if w.Window.mapped then begin
     w.Window.mapped <- false;
     deliver t w Event.Unmap_notify;
@@ -240,9 +330,9 @@ let unmap_window conn id =
   end
 
 let configure_window conn ?x ?y ?width ?height ?border_width id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
-  let w = window_exn t id in
+  let w = window_exn conn id in
   let resized =
     (match width with Some v -> v <> w.Window.width | None -> false)
     || match height with Some v -> v <> w.Window.height | None -> false
@@ -264,32 +354,32 @@ let configure_window conn ?x ?y ?width ?height ?border_width id =
   update_pointer_window t
 
 let raise_window conn id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
-  Window.raise_to_top (window_exn t id);
+  Window.raise_to_top (window_exn conn id);
   update_pointer_window t
 
 let lower_window conn id =
-  request conn Window_op;
+  request ~resource:id conn Window_op;
   let t = conn.server in
-  Window.lower_to_bottom (window_exn t id);
+  Window.lower_to_bottom (window_exn conn id);
   update_pointer_window t
 
 let set_window_background conn id color =
-  request conn Window_op;
-  (window_exn conn.server id).Window.background <- Some color
+  request ~resource:id conn Window_op;
+  (window_exn conn id).Window.background <- Some color
 
 let set_window_border conn id color =
-  request conn Window_op;
-  (window_exn conn.server id).Window.border_color <- color
+  request ~resource:id conn Window_op;
+  (window_exn conn id).Window.border_color <- color
 
 let set_window_cursor conn id cursor =
-  request conn Window_op;
-  (window_exn conn.server id).Window.cursor <- cursor
+  request ~resource:id conn Window_op;
+  (window_exn conn id).Window.cursor <- cursor
 
 let set_override_redirect conn id flag =
-  request conn Window_op;
-  (window_exn conn.server id).Window.override_redirect <- flag
+  request ~resource:id conn Window_op;
+  (window_exn conn id).Window.override_redirect <- flag
 
 let query_geometry conn id =
   request ~round_trip:true conn Other;
@@ -340,9 +430,9 @@ let notify_property t w ~prop_atom ~deleted =
     w.Window.property_listeners
 
 let change_property conn id ~prop ~ptype data =
-  request conn Property;
+  request ~resource:id conn Property;
   let t = conn.server in
-  let w = window_exn t id in
+  let w = window_exn conn id in
   Hashtbl.replace w.Window.properties prop
     { Window.prop_type = ptype; prop_data = data };
   notify_property t w ~prop_atom:prop ~deleted:false
@@ -354,7 +444,7 @@ let get_property conn id ~prop =
   | Some w -> Hashtbl.find_opt w.Window.properties prop
 
 let delete_property conn id ~prop =
-  request conn Property;
+  request ~resource:id conn Property;
   let t = conn.server in
   match lookup_window t id with
   | None -> ()
@@ -365,8 +455,8 @@ let delete_property conn id ~prop =
     end
 
 let listen_property conn id =
-  request conn Property;
-  let w = window_exn conn.server id in
+  request ~resource:id conn Property;
+  let w = window_exn conn id in
   if not (List.mem conn.cid w.Window.property_listeners) then
     w.Window.property_listeners <-
       conn.cid :: w.Window.property_listeners
@@ -447,47 +537,47 @@ let send_selection_notify conn ~requestor ~selection ~target ~property ~data =
 (* Drawing *)
 
 let clear_window conn id =
-  request conn Draw;
-  Window.clear_drawing (window_exn conn.server id)
+  request ~resource:id conn Draw;
+  Window.clear_drawing (window_exn conn id)
 
 let fill_rect conn id gc rect =
-  request conn Draw;
-  Window.add_draw_op (window_exn conn.server id)
+  request ~resource:id conn Draw;
+  Window.add_draw_op (window_exn conn id)
     (Window.Fill_rect (rect, gc.Gcontext.foreground))
 
 let draw_rect conn id gc rect =
-  request conn Draw;
-  Window.add_draw_op (window_exn conn.server id)
+  request ~resource:id conn Draw;
+  Window.add_draw_op (window_exn conn id)
     (Window.Draw_rect (rect, gc.Gcontext.foreground))
 
 let draw_text conn id gc ~x ~y text =
-  request conn Draw;
+  request ~resource:id conn Draw;
   let font =
     match gc.Gcontext.font with
     | Some f -> f
-    | None -> Option.get (Font.parse Font.default_name)
+    | None -> Font.fallback ()
   in
-  Window.add_draw_op (window_exn conn.server id)
+  Window.add_draw_op (window_exn conn id)
     (Window.Draw_text { tx = x; ty = y; text; color = gc.Gcontext.foreground; font })
 
 let draw_line conn id gc ~x1 ~y1 ~x2 ~y2 =
-  request conn Draw;
-  Window.add_draw_op (window_exn conn.server id)
+  request ~resource:id conn Draw;
+  Window.add_draw_op (window_exn conn id)
     (Window.Draw_line { x1; y1; x2; y2; color = gc.Gcontext.foreground })
 
 let stipple_rect conn id gc rect =
-  request conn Draw;
+  request ~resource:id conn Draw;
   match gc.Gcontext.stipple with
   | Some bitmap ->
-    Window.add_draw_op (window_exn conn.server id)
+    Window.add_draw_op (window_exn conn id)
       (Window.Stipple_rect (rect, bitmap, gc.Gcontext.foreground))
   | None ->
-    Window.add_draw_op (window_exn conn.server id)
+    Window.add_draw_op (window_exn conn id)
       (Window.Fill_rect (rect, gc.Gcontext.foreground))
 
 let draw_relief conn id rect ~raised ~width =
-  request conn Draw;
-  Window.add_draw_op (window_exn conn.server id)
+  request ~resource:id conn Draw;
+  Window.add_draw_op (window_exn conn id)
     (Window.Draw_relief { rrect = rect; raised; rwidth = width })
 
 (* ------------------------------------------------------------------ *)

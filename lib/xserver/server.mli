@@ -52,6 +52,52 @@ val advance_time : t -> int -> unit
 (** Advance the logical clock (used to simulate delays, e.g. for testing
     double-click timeouts). *)
 
+(** {1 Errors and fault injection}
+
+    Requests that name a dead resource raise {!Xerror.X_error} (e.g.
+    [BadWindow] for operations on a destroyed window) instead of
+    succeeding silently. In addition, a deterministic fault-injection
+    plan can make the server reject otherwise-valid requests, to test
+    that every layer above the protocol degrades gracefully. Rejected
+    requests are still counted in the connection's {!stats}. *)
+
+(** Request classes, used for per-class accounting and for scoping
+    injected faults ([Resource] = color/font/cursor/bitmap/GC allocation). *)
+type req_kind = Resource | Window_op | Draw | Property | Other
+
+val set_fault_plan :
+  t -> ?seed:int -> ?fail_every_nth:int -> ?fail_kind:req_kind -> unit -> unit
+(** Arm the plan: every [fail_every_nth]-th request (phase-shifted by
+    [seed]) raises an {!Xerror.X_error} whose code matches the request
+    class ([Resource] → [BadAlloc], [Window_op] → [BadWindow], [Draw] →
+    [BadMatch], [Property] → [BadAtom], [Other] → [BadValue]). With
+    [fail_kind], only that class is eligible. [fail_every_nth = 0]
+    disables periodic injection. Deterministic: same seed, same request
+    stream, same faults. *)
+
+val script_fault : t -> Xerror.code -> unit
+(** Queue a one-shot failure: the next eligible request raises [code].
+    Scripted faults fire before the periodic plan and may be queued in
+    sequence. *)
+
+val clear_faults : t -> unit
+(** Disarm periodic and scripted injection (counters are kept). *)
+
+val faults_injected : t -> int
+(** Faults the plan has raised. *)
+
+val faults_absorbed : t -> int
+(** Injected faults that some layer above caught and degraded around
+    (via {!note_absorbed}). A healthy stack keeps this equal to
+    {!faults_injected}. *)
+
+val note_absorbed : t -> Xerror.info -> unit
+(** Record that an [X_error] was absorbed. Counts only injected faults,
+    so genuine errors (e.g. a send to a dead peer) don't skew the
+    injected/absorbed invariant. *)
+
+val reset_fault_counters : t -> unit
+
 (** {1 Atoms} *)
 
 val intern_atom : connection -> string -> Atom.t

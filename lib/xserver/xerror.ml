@@ -1,0 +1,41 @@
+type code =
+  | BadWindow
+  | BadAlloc
+  | BadAtom
+  | BadValue
+  | BadMatch
+  | BadName
+  | BadFont
+
+type info = {
+  code : code;
+  resource : Xid.t;
+  serial : int;
+  injected : bool;
+}
+
+exception X_error of info
+
+let code_name = function
+  | BadWindow -> "BadWindow"
+  | BadAlloc -> "BadAlloc"
+  | BadAtom -> "BadAtom"
+  | BadValue -> "BadValue"
+  | BadMatch -> "BadMatch"
+  | BadName -> "BadName"
+  | BadFont -> "BadFont"
+
+let describe e =
+  Printf.sprintf "X protocol error: %s (resource 0x%x, serial %d)%s"
+    (code_name e.code) e.resource e.serial
+    (if e.injected then " [injected]" else "")
+
+let raise_error ?(resource = Xid.none) ?(serial = 0) ?(injected = false) code =
+  raise (X_error { code; resource; serial; injected })
+
+(* Register a readable rendering so an escaped X_error prints usefully in
+   backtraces and test failures. *)
+let () =
+  Printexc.register_printer (function
+    | X_error e -> Some (describe e)
+    | _ -> None)

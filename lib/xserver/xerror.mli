@@ -1,0 +1,40 @@
+(** Typed X protocol errors.
+
+    Real X servers reject bad requests with an error event carrying an
+    error code, the offending resource id and the sequence number of the
+    failed request; Xlib turns these into calls to an error handler. The
+    simulation models that with a single OCaml exception, {!X_error},
+    raised synchronously by the request that failed. Layers above the
+    protocol (the resource cache, the Tk intrinsics) are expected to
+    absorb these errors and degrade — never to let one kill the process.
+
+    Errors can be genuine (e.g. operating on a destroyed window) or
+    {e injected} by the fault-injection plan on {!Server.t}; the
+    [injected] flag lets absorption accounting distinguish the two. *)
+
+type code =
+  | BadWindow  (** the window id names no live window *)
+  | BadAlloc  (** the server could not allocate the resource *)
+  | BadAtom
+  | BadValue
+  | BadMatch
+  | BadName  (** a named resource (color, cursor) does not exist *)
+  | BadFont
+
+type info = {
+  code : code;
+  resource : Xid.t;  (** offending resource id ({!Xid.none} if not known) *)
+  serial : int;  (** the connection's request sequence number *)
+  injected : bool;  (** raised by the fault-injection plan, not a real bug *)
+}
+
+exception X_error of info
+
+val code_name : code -> string
+
+val describe : info -> string
+(** One-line rendering, e.g.
+    ["X protocol error: BadWindow (resource 0x2a, serial 17)"]. *)
+
+val raise_error :
+  ?resource:Xid.t -> ?serial:int -> ?injected:bool -> code -> 'a

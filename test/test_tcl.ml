@@ -152,6 +152,25 @@ let control_tests =
        Alcotest.(check bool) "first gone" false (contains ~needle:"first" info));
     ("catch marks the error handled",
      check_eval "catch {error inner}; set x after; set x" "after");
+    ("catch leaves errorInfo readable",
+     fun () ->
+       let tcl = new_interp () in
+       ignore (run tcl "proc deep {} {error kapow}\ncatch {deep}");
+       let info = run tcl "set errorInfo" in
+       Alcotest.(check bool) "has message" true (contains ~needle:"kapow" info);
+       Alcotest.(check bool) "has while-executing" true
+         (contains ~needle:"while executing" info));
+    ("info errorinfo returns the stack trace",
+     fun () ->
+       let tcl = new_interp () in
+       Alcotest.(check string) "empty before any error" ""
+         (run tcl "info errorinfo");
+       ignore (run tcl "catch {error whammo}");
+       let info = run tcl "info errorinfo" in
+       Alcotest.(check bool) "matches the variable" true
+         (info = run tcl "set errorInfo");
+       Alcotest.(check bool) "has message" true
+         (contains ~needle:"whammo" info));
   ]
 
 (* ------------------------------------------------------------------ *)
