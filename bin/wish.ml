@@ -13,11 +13,19 @@
                                synthesize user input
      serverstats               print the connection's request counters
      faultstats                print injected/absorbed fault counters
+     crashtest at N | kill APP | status
+                               arm the crash plan / kill a peer / report
 
    The -faults N flag arms the server's fault-injection plan so every
    N-th request is rejected with an X protocol error — a robustness
    torture test for scripts and widgets (use faultstats to verify that
-   every injected fault was absorbed). *)
+   every injected fault was absorbed).
+
+   The -crash-at N flag arms the crash plan: the application's X
+   connection dies abruptly (as if the client was killed) the moment its
+   request counter reaches N. The interpreter survives — every
+   subsequent X request degrades gracefully — so scripts can verify the
+   failure story of a client outliving its display connection. *)
 
 open Xsim
 
@@ -69,7 +77,39 @@ let install_sim_commands app =
       Printf.sprintf "injected %d absorbed %d fallbacks %d"
         (Server.faults_injected server)
         (Server.faults_absorbed server)
-        (Tk.Rescache.fallbacks app.Tk.Core.cache))
+        (Tk.Rescache.fallbacks app.Tk.Core.cache));
+  Tcl.Interp.register_value interp "crashtest" (fun _ words ->
+      let int_arg s =
+        match int_of_string_opt s with
+        | Some i -> i
+        | None -> Tcl.Interp.failf "expected integer but got \"%s\"" s
+      in
+      match words with
+      | [ _; "at"; n ] ->
+        Server.set_crash_plan app.Tk.Core.conn ~at_request:(int_arg n);
+        ""
+      | [ _; "kill"; name ] -> (
+        (* Abruptly kill a peer application's connection — the driver for
+           two-interpreter crash scenarios (the peer's interpreter lives
+           on with a dead connection, exactly like a wish under
+           -crash-at). Killing our own name is allowed: it crashes this
+           application's connection in place. *)
+        match
+          List.find_opt
+            (fun a -> a.Tk.Core.app_name = name)
+            (Tk.Core.local_apps app.Tk.Core.server)
+        with
+        | Some peer ->
+          Server.kill_connection peer.Tk.Core.conn;
+          ""
+        | None -> Tcl.Interp.failf "no application named \"%s\"" name)
+      | [ _; "status" ] ->
+        Printf.sprintf "alive %d crashed %d crash-at %d requests %d"
+          (if Server.connection_alive app.Tk.Core.conn then 1 else 0)
+          (if Server.connection_crashed app.Tk.Core.conn then 1 else 0)
+          (Server.crash_plan app.Tk.Core.conn)
+          (Server.stats app.Tk.Core.conn).Server.total_requests
+      | _ -> Tcl.Interp.wrong_args "crashtest at n | kill app | status")
 
 let run_script app path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -123,26 +163,35 @@ let interactive app =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let rec parse script name stay faults = function
-    | [] -> (script, name, stay, faults)
-    | "-f" :: path :: rest -> parse (Some path) name stay faults rest
-    | "-name" :: n :: rest -> parse script (Some n) stay faults rest
-    | "-stay" :: rest -> parse script name true faults rest
+  let rec parse script name stay faults crash_at = function
+    | [] -> (script, name, stay, faults, crash_at)
+    | "-f" :: path :: rest -> parse (Some path) name stay faults crash_at rest
+    | "-name" :: n :: rest -> parse script (Some n) stay faults crash_at rest
+    | "-stay" :: rest -> parse script name true faults crash_at rest
     | "-faults" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some every when every >= 0 -> parse script name stay every rest
+      | Some every when every >= 0 -> parse script name stay every crash_at rest
       | Some _ | None ->
         Printf.eprintf "wish: -faults expects a non-negative integer\n";
         exit 2)
+    | "-crash-at" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some at when at >= 0 -> parse script name stay faults at rest
+      | Some _ | None ->
+        Printf.eprintf "wish: -crash-at expects a non-negative integer\n";
+        exit 2)
     | path :: rest when script = None && Sys.file_exists path ->
-      parse (Some path) name stay faults rest
+      parse (Some path) name stay faults crash_at rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: wish ?-f script? ?-name appName? ?-stay? ?-faults n?\n";
+        "usage: wish ?-f script? ?-name appName? ?-stay? ?-faults n? \
+         ?-crash-at n?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
-  let script, name, stay, faults = parse None None false 0 (List.tl args) in
+  let script, name, stay, faults, crash_at =
+    parse None None false 0 0 (List.tl args)
+  in
   let app_name =
     match (name, script) with
     | Some n, _ -> n
@@ -156,6 +205,10 @@ let () =
   let app =
     Tk_widgets.Tk_widgets_lib.new_app ~app_class:"Wish" ~server ~name:app_name ()
   in
+  (* The crash plan counts requests from connection time, so creating the
+     application has already consumed some of the budget — just as a real
+     client crashes wherever in its life request N happens to fall. *)
+  if crash_at > 0 then Server.set_crash_plan app.Tk.Core.conn ~at_request:crash_at;
   install_sim_commands app;
   (* Make the command line available as $argv / $argc, as wish does. *)
   Tcl.Interp.set_var app.Tk.Core.interp "argv" "";

@@ -1056,25 +1056,18 @@ let container_class ~name =
 (* ------------------------------------------------------------------ *)
 (* Application creation *)
 
-let read_registry app =
-  absorb app ~default:[] @@ fun () ->
-  let root = Server.root app.server in
-  let prop = Server.intern_atom app.conn registry_property in
-  match Server.get_property app.conn root ~prop with
-  | None -> []
-  | Some p -> (
-    match Tcl.Tcl_list.parse p.Window.prop_data with
-    | Error _ -> []
-    | Ok entries ->
-      List.filter_map
-        (fun e ->
-          match Tcl.Tcl_list.parse e with
-          | Ok [ name; xid ] ->
-            Option.map (fun id -> (name, id)) (int_of_string_opt xid)
-          | _ -> None)
-        entries)
+(* A registry entry is live iff its communication window still exists: a
+   crashed peer's windows were reaped by the server, so its entry is a
+   ghost. Both registry accessors prune ghosts, so [winfo interps] never
+   lists a dead interpreter and stale entries don't linger until a send
+   to them happens to fail. *)
+let registry_entry_live app (_, xid) =
+  match Server.lookup_window app.server xid with
+  | Some w -> not w.Window.destroyed
+  | None -> false
 
 let write_registry app entries =
+  let entries = List.filter (registry_entry_live app) entries in
   absorb app ~default:() @@ fun () ->
   let root = Server.root app.server in
   let prop = Server.intern_atom app.conn registry_property in
@@ -1084,6 +1077,30 @@ let write_registry app entries =
           (fun (name, xid) ->
             Tcl.Tcl_list.format [ name; string_of_int xid ])
           entries))
+
+let read_registry app =
+  let entries =
+    absorb app ~default:[] @@ fun () ->
+    let root = Server.root app.server in
+    let prop = Server.intern_atom app.conn registry_property in
+    match Server.get_property app.conn root ~prop with
+    | None -> []
+    | Some p -> (
+      match Tcl.Tcl_list.parse p.Window.prop_data with
+      | Error _ -> []
+      | Ok entries ->
+        List.filter_map
+          (fun e ->
+            match Tcl.Tcl_list.parse e with
+            | Ok [ name; xid ] ->
+              Option.map (fun id -> (name, id)) (int_of_string_opt xid)
+            | _ -> None)
+          entries)
+  in
+  let live = List.filter (registry_entry_live app) entries in
+  (* Garbage-collect: rewrite the property without the ghosts. *)
+  if List.length live <> List.length entries then write_registry app live;
+  live
 
 let unique_name taken base =
   if not (List.mem base taken) then base

@@ -298,8 +298,13 @@ val registry_property : string
     (paper §6). *)
 
 val read_registry : app -> (string * Xid.t) list
-(** Parse the display's application registry. *)
+(** Parse the display's application registry. Entries whose communication
+    window no longer exists (the peer crashed without cleanup) are pruned
+    — dropped from the result and garbage-collected out of the
+    root-window property — so [winfo interps] never lists ghosts. *)
 
 val write_registry : app -> (string * Xid.t) list -> unit
-(** Replace the display's application registry (exposed so robustness
-    tests can forge stale entries for dead peers). *)
+(** Replace the display's application registry. Ghost entries (dead
+    communication windows) are filtered out before writing; robustness
+    tests that need a genuinely stale entry must forge the raw property
+    with {!Xsim.Server.change_property}. *)

@@ -4,6 +4,7 @@ type timer = { tid : timer_id; deadline : float; callback : unit -> unit }
 
 type t = {
   mutable clock : unit -> float;
+  mutable sleep : int -> unit; (* ms *)
   mutable timers : timer list; (* sorted by deadline *)
   mutable next_id : int;
   mutable idle : (unit -> unit) list; (* reversed queue *)
@@ -11,9 +12,13 @@ type t = {
   mutable on_error : exn -> unit;
 }
 
+let default_sleep ms =
+  if ms > 0 then ignore (Unix.select [] [] [] (float_of_int ms /. 1000.0))
+
 let create ?clock () =
   {
     clock = (match clock with Some c -> c | None -> Unix.gettimeofday);
+    sleep = default_sleep;
     timers = [];
     next_id = 1;
     idle = [];
@@ -22,6 +27,18 @@ let create ?clock () =
   }
 
 let set_clock t clock = t.clock <- clock
+let set_sleep t sleep = t.sleep <- sleep
+let sleep_ms t ms = if ms > 0 then t.sleep ms
+
+(* Deterministic time for tests: the clock reads a counter and sleeping
+   advances it, so deadline-based waits (send, selection get) terminate
+   without wall-clock delays and at reproducible simulated times. *)
+let use_virtual_clock t =
+  let now = ref 0.0 in
+  let advance ms = now := !now +. (float_of_int ms /. 1000.0) in
+  t.clock <- (fun () -> !now);
+  t.sleep <- advance;
+  advance
 
 let set_on_error t handler = t.on_error <- handler
 

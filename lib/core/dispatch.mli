@@ -14,6 +14,21 @@ val create : ?clock:(unit -> float) -> unit -> t
 
 val set_clock : t -> (unit -> float) -> unit
 
+val set_sleep : t -> (int -> unit) -> unit
+(** Replace how deadline-based waits pass time between polls (argument in
+    milliseconds; default: [Unix.select] on nothing). Paired with
+    {!set_clock}, a test can make blocking waits fully deterministic. *)
+
+val sleep_ms : t -> int -> unit
+(** Pass [ms] milliseconds according to the installed sleeper. [send] and
+    [selection get] call this between polls (exponential backoff) instead
+    of spinning on a retry counter. *)
+
+val use_virtual_clock : t -> (int -> unit)
+(** Install a deterministic virtual clock starting at 0: {!now_ms} reads
+    it and {!sleep_ms} advances it. The returned function advances the
+    clock by a number of milliseconds directly (for driving timers). *)
+
 val set_on_error : t -> (exn -> unit) -> unit
 (** Exceptions escaping a timer, idle or file callback are passed to this
     handler instead of unwinding the event loop (default: re-raise). The

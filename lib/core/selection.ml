@@ -52,26 +52,67 @@ let disown app =
 
 let owner_path app = app.Core.sel.Core.sel_owner_path
 
-let get app =
+let default_timeout_ms = 2000
+
+let get ?(timeout_ms = default_timeout_ms) app =
   let prop = Server.intern_atom app.Core.conn result_property in
+  let owner =
+    Core.absorb app ~default:Xid.none @@ fun () ->
+    Server.get_selection_owner app.Core.conn ~selection:Atom.primary
+  in
   app.Core.sel.Core.sel_pending <- Some None;
   Server.convert_selection app.Core.conn ~selection:Atom.primary
     ~target:Atom.string ~property:prop ~requestor:app.Core.comm_win;
   (* Pump every local application so the owner (possibly another app on
      this display) can answer; in real X this is the sender blocking in
-     its event loop. *)
-  let rec wait tries =
+     its event loop. The wait is bounded by a deadline on the dispatcher
+     clock, and an owner whose window vanished mid-conversion (it
+     crashed) is detected without waiting the deadline out. *)
+  let disp = app.Core.disp in
+  let deadline = Dispatch.now_ms disp + timeout_ms in
+  let owner_gone () =
+    owner <> Xid.none
+    && not
+         (Core.absorb app ~default:true @@ fun () ->
+          Server.window_exists app.Core.conn owner)
+  in
+  let rec wait backoff =
     Core.update_all app.Core.server;
     match app.Core.sel.Core.sel_pending with
-    | Some (Some _) | None -> ()
-    | Some None -> if tries > 0 then wait (tries - 1)
+    | Some (Some _) | None -> `Settled
+    | Some None ->
+      if owner_gone () then `Owner_died
+      else if Dispatch.now_ms disp >= deadline then `Timed_out
+      else begin
+        Dispatch.sleep_ms disp backoff;
+        wait (min (backoff * 2) 64)
+      end
   in
-  wait 100;
-  let outcome = app.Core.sel.Core.sel_pending in
+  let outcome = wait 1 in
+  let pending = app.Core.sel.Core.sel_pending in
   app.Core.sel.Core.sel_pending <- None;
-  match outcome with
-  | Some (Some data) -> data
-  | _ -> failf "PRIMARY selection doesn't exist or form \"STRING\" not defined"
+  match (outcome, pending) with
+  | _, Some (Some data) -> data
+  | (`Owner_died | `Timed_out), _ ->
+    (* The owner crashed or hung mid-conversion. Clear the dangling
+       ownership server-side so later requests fail fast instead of
+       repeating the timeout. *)
+    (Core.absorb app ~default:() @@ fun () ->
+     if
+       Server.get_selection_owner app.Core.conn ~selection:Atom.primary
+       = owner
+     then
+       Server.set_selection_owner app.Core.conn ~selection:Atom.primary
+         Xid.none);
+    if outcome = `Owner_died then
+      failf "selection owner died during PRIMARY conversion"
+    else
+      failf
+        "selection owner is not responding (PRIMARY conversion timed out \
+         after %d ms)"
+        timeout_ms
+  | `Settled, _ ->
+    failf "PRIMARY selection doesn't exist or form \"STRING\" not defined"
 
 (* Event interceptor: selection requests for windows we own, clears, and
    the notify that completes our own [get]. *)

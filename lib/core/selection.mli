@@ -21,6 +21,11 @@ val disown : Core.app -> unit
 val owner_path : Core.app -> string option
 (** The owning widget within this application, if any. *)
 
-val get : Core.app -> string
+val get : ?timeout_ms:int -> Core.app -> string
 (** Retrieve the PRIMARY selection as a string, wherever its owner is.
-    @raise Tcl.Interp.Tcl_failure when nobody owns the selection. *)
+    The wait is bounded ([timeout_ms], default 2000, on the requesting
+    app's {!Dispatch} clock); an owner that crashes mid-conversion is
+    detected early and the dangling ownership is cleared server-side.
+    @raise Tcl.Interp.Tcl_failure when nobody owns the selection, when
+    the owner died mid-conversion, or when it failed to answer before
+    the deadline. *)

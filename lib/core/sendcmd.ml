@@ -51,55 +51,83 @@ let pre_handler app (d : Event.delivery) =
     | Event.Property_notify { prop_deleted = true; _ } -> true
     | _ -> false
 
-let rec send app ~target script =
+let default_timeout_ms = 5000
+let max_backoff_ms = 64
+
+let rec send ?timeout_ms app ~target script =
   let registry = Core.read_registry app in
   match List.assoc_opt target registry with
   | None ->
     Error (Printf.sprintf "no registered interpreter named \"%s\"" target)
   | Some target_comm -> (
     try
-      send_to app ~target ~target_comm script
+      send_to ?timeout_ms app ~target ~target_comm script
     with Xerror.X_error e ->
-      (* The registry entry was stale: the peer's communication window is
-         gone. Report a Tcl-level error, not an exception. *)
+      (* The registry entry went stale under us: the peer's communication
+         window is gone. Report a Tcl-level error, not an exception. *)
       Server.note_absorbed app.Core.server e;
       Error
         (Printf.sprintf "target application \"%s\" died (%s)" target
            (Xerror.code_name e.Xerror.code)))
 
-and send_to app ~target ~target_comm script =
-    app.Core.send_serial <- app.Core.send_serial + 1;
-    let serial = string_of_int app.Core.send_serial in
-    let script_prop = Server.intern_atom app.Core.conn script_property in
-    let result_prop =
-      Server.intern_atom app.Core.conn (result_property_prefix ^ serial)
-    in
-    Server.change_property app.Core.conn target_comm ~prop:script_prop
-      ~ptype:Atom.string
-      (Tcl.Tcl_list.format
-         [ serial; string_of_int app.Core.comm_win; script ]);
-    (* Wait for the answer, processing events so that nested sends (the
-       target sending back to us while we wait) keep working. *)
-    let rec wait tries =
-      Core.update_all app.Core.server;
-      match
-        Server.get_property app.Core.conn app.Core.comm_win ~prop:result_prop
-      with
-      | Some p ->
-        Server.delete_property app.Core.conn app.Core.comm_win
-          ~prop:result_prop;
-        Some p.Window.prop_data
-      | None -> if tries > 0 then wait (tries - 1) else None
-    in
-    (match wait 100 with
+and send_to ?(timeout_ms = default_timeout_ms) app ~target ~target_comm script
+    =
+  app.Core.send_serial <- app.Core.send_serial + 1;
+  let serial = string_of_int app.Core.send_serial in
+  let script_prop = Server.intern_atom app.Core.conn script_property in
+  let result_prop =
+    Server.intern_atom app.Core.conn (result_property_prefix ^ serial)
+  in
+  Server.change_property app.Core.conn target_comm ~prop:script_prop
+    ~ptype:Atom.string
+    (Tcl.Tcl_list.format [ serial; string_of_int app.Core.comm_win; script ]);
+  (* Wait for the answer against a deadline on the dispatcher clock,
+     processing events so that nested sends (the target sending back to us
+     while we wait) keep working. Between polls we back off exponentially
+     and ping the target's communication window, so a peer that died
+     mid-request is reported as dead immediately — distinct from a peer
+     that is alive but not answering, which runs out the deadline. *)
+  let disp = app.Core.disp in
+  let deadline = Dispatch.now_ms disp + timeout_ms in
+  let peer_alive () =
+    Core.absorb app ~default:true @@ fun () ->
+    Server.window_exists app.Core.conn target_comm
+  in
+  let poll () =
+    Core.update_all app.Core.server;
+    match
+      Server.get_property app.Core.conn app.Core.comm_win ~prop:result_prop
+    with
+    | Some p ->
+      Server.delete_property app.Core.conn app.Core.comm_win
+        ~prop:result_prop;
+      Some p.Window.prop_data
+    | None -> None
+  in
+  let rec wait backoff =
+    match poll () with
+    | Some data -> `Answered data
     | None ->
-      Error
-        (Printf.sprintf "target application \"%s\" died or timed out" target)
-    | Some data -> (
-      match Tcl.Tcl_list.parse data with
-      | Ok [ "0"; value ] -> Ok value
-      | Ok [ _; value ] -> Error value
-      | Ok _ | Error _ -> Error "malformed send reply"))
+      if not (peer_alive ()) then `Died
+      else if Dispatch.now_ms disp >= deadline then `Timed_out
+      else begin
+        Dispatch.sleep_ms disp backoff;
+        wait (min (backoff * 2) max_backoff_ms)
+      end
+  in
+  match wait 1 with
+  | `Died -> Error (Printf.sprintf "target application \"%s\" died" target)
+  | `Timed_out ->
+    Error
+      (Printf.sprintf
+         "send to application \"%s\" timed out after %d ms (interpreter is \
+          alive but unresponsive)"
+         target timeout_ms)
+  | `Answered data -> (
+    match Tcl.Tcl_list.parse data with
+    | Ok [ "0"; value ] -> Ok value
+    | Ok [ _; value ] -> Error value
+    | Ok _ | Error _ -> Error "malformed send reply")
 
 let command app : Tcl.Interp.command =
  fun _interp words ->

@@ -12,9 +12,21 @@
 val install : Core.app -> unit
 (** Register the [send] Tcl command and the incoming-send interceptor. *)
 
-val send : Core.app -> target:string -> string -> (string, string) result
+val send :
+  ?timeout_ms:int ->
+  Core.app ->
+  target:string ->
+  string ->
+  (string, string) result
 (** Execute a script in the named application; [Ok result] or
-    [Error message] (unknown application, remote error, timeout). *)
+    [Error message]. Failure modes are distinct: an unknown application
+    ("no registered interpreter"), a peer that died mid-request (the
+    liveness ping found its communication window gone: "died"), and a
+    peer that is alive but unresponsive ("timed out" after [timeout_ms],
+    default 5000, measured on the sender's {!Dispatch} clock — plug a
+    virtual clock in for deterministic tests). *)
+
+val default_timeout_ms : int
 
 val interps : Core.app -> string list
 (** Names of all registered applications ([winfo interps]). *)

@@ -23,6 +23,17 @@ type fault_plan = {
   mutable absorbed : int;
 }
 
+(* A selection conversion the owner has been asked to perform but has not
+   yet answered. Tracked so that when the owner's connection dies, the
+   requestor receives a refusing SelectionNotify instead of waiting
+   forever. *)
+type pending_convert = {
+  pc_selection : Atom.t;
+  pc_target : Atom.t;
+  pc_requestor : Xid.t;
+  pc_owner_cid : int;
+}
+
 type t = {
   xids : Xid.allocator;
   atoms : Atom.table;
@@ -32,6 +43,7 @@ type t = {
   mutable next_cid : int;
   mutable clock : int;
   selections : (Atom.t, Xid.t) Hashtbl.t;
+  mutable pending_converts : pending_convert list;
   mutable pointer : Geom.point;
   mutable pointer_win : Xid.t;
   mutable focus : Xid.t; (* Xid.none = pointer-root focus *)
@@ -46,7 +58,9 @@ and connection = {
   server : t;
   queue : Event.delivery Queue.t;
   cstats : stats;
-  mutable closed : bool;
+  mutable dead : bool;
+  mutable crashed : bool; (* dead by crash, not orderly close *)
+  mutable crash_at : int; (* crash plan: die at this request number; 0 = off *)
 }
 
 let new_stats () =
@@ -79,6 +93,7 @@ let create ?(width = 1024) ?(height = 768) () =
     next_cid = 1;
     clock = 0;
     selections = Hashtbl.create 4;
+    pending_converts = [];
     (* Park the pointer in the far corner so freshly mapped windows don't
        receive a spurious Enter. *)
     pointer = { Geom.x = width - 1; y = height - 1 };
@@ -106,7 +121,9 @@ let connect server ~name =
       server;
       queue = Queue.create ();
       cstats = new_stats ();
-      closed = false;
+      dead = false;
+      crashed = false;
+      crash_at = 0;
     }
   in
   server.next_cid <- server.next_cid + 1;
@@ -191,22 +208,6 @@ let maybe_inject conn kind resource =
       end
     end
 
-(* Account for one protocol request; the logical clock ticks so event
-   timestamps stay ordered. The fault plan rejects the request after it
-   has been counted, as a real server rejects a request it received. *)
-let request ?(round_trip = false) ?(resource = Xid.none) conn kind =
-  let s = conn.cstats in
-  s.total_requests <- s.total_requests + 1;
-  if round_trip then s.round_trips <- s.round_trips + 1;
-  (match kind with
-  | Resource -> s.resource_allocs <- s.resource_allocs + 1
-  | Window_op -> s.window_requests <- s.window_requests + 1
-  | Draw -> s.draw_requests <- s.draw_requests + 1
-  | Property -> s.property_requests <- s.property_requests + 1
-  | Other -> ());
-  conn.server.clock <- conn.server.clock + 1;
-  maybe_inject conn kind resource
-
 let lookup_window t id = Hashtbl.find_opt t.windows id
 
 let window_exn conn id =
@@ -220,7 +221,7 @@ let find_connection t cid = List.find_opt (fun c -> c.cid = cid) t.connections
 
 let deliver_to_cid t ~cid ~window event =
   match find_connection t cid with
-  | Some conn when not conn.closed ->
+  | Some conn when not conn.dead ->
     Queue.add { Event.window; time = t.clock; event } conn.queue
   | Some _ | None -> ()
 
@@ -228,16 +229,14 @@ let deliver_to_cid t ~cid ~window event =
 let deliver t win event =
   deliver_to_cid t ~cid:win.Window.owner_cid ~window:win.Window.id event
 
-(* ------------------------------------------------------------------ *)
-(* Atoms *)
-
-let intern_atom conn name =
-  request ~round_trip:true conn Other;
-  Atom.intern conn.server.atoms name
-
-let atom_name conn atom =
-  request ~round_trip:true conn Other;
-  Atom.name conn.server.atoms atom
+(* Root-window SubstructureNotify approximation: tell every surviving
+   client about a structural change it did not cause itself. *)
+let broadcast_survivors t ~except_cid ~window event =
+  List.iter
+    (fun c ->
+      if c.cid <> except_cid && not c.dead then
+        Queue.add { Event.window; time = t.clock; event } c.queue)
+    t.connections
 
 (* ------------------------------------------------------------------ *)
 (* Pointer bookkeeping shared by window operations and input *)
@@ -264,6 +263,140 @@ let update_pointer_window t =
     | Some w -> deliver t w (Event.Enter { crossing_state = state })
     | None -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Connection death: orderly close and abrupt crash *)
+
+(* Selection conversions the dying client was asked to perform are
+   refused, so a requestor blocked on SelectionNotify unblocks instead of
+   waiting out its timeout. *)
+let refuse_pending_converts t cid =
+  let mine, rest =
+    List.partition (fun pc -> pc.pc_owner_cid = cid) t.pending_converts
+  in
+  t.pending_converts <- rest;
+  List.iter
+    (fun pc ->
+      match lookup_window t pc.pc_requestor with
+      | Some req_win ->
+        deliver t req_win
+          (Event.Selection_notify
+             {
+               sn_selection = pc.pc_selection;
+               sn_target = pc.pc_target;
+               sn_property = None;
+               sn_requestor = pc.pc_requestor;
+             })
+      | None -> ())
+    mine
+
+(* Reap everything a dead client left behind, exactly as the X server
+   does when a connection drops: destroy its windows (deepest first,
+   notifying surviving owners of nested windows), release the selections
+   and focus they held, refuse its unanswered selection conversions, and
+   tell surviving clients what disappeared. *)
+let reap_connection conn =
+  let t = conn.server in
+  conn.dead <- true;
+  Queue.clear conn.queue;
+  t.connections <- List.filter (fun c -> c.cid <> conn.cid) t.connections;
+  (* Top-most windows owned by the client: every other window it owned is
+     a descendant of one of these and dies with the subtree. *)
+  let tops =
+    Hashtbl.fold
+      (fun _ w acc ->
+        if
+          w.Window.owner_cid = conn.cid
+          && (match w.Window.parent with
+             | None -> true
+             | Some p -> p.Window.owner_cid <> conn.cid)
+        then w :: acc
+        else acc)
+      t.windows []
+  in
+  List.iter
+    (fun top ->
+      let doomed = Window.descendants top in
+      List.iter
+        (fun d ->
+          d.Window.destroyed <- true;
+          d.Window.mapped <- false;
+          (* A surviving client with a window nested inside the dead
+             client's tree still receives its DestroyNotify. *)
+          deliver t d Event.Destroy_notify;
+          Hashtbl.remove t.windows d.Window.id;
+          Hashtbl.iter
+            (fun sel owner ->
+              if owner = d.Window.id then begin
+                Hashtbl.remove t.selections sel;
+                broadcast_survivors t ~except_cid:conn.cid
+                  ~window:d.Window.id
+                  (Event.Selection_clear { selection = sel })
+              end)
+            (Hashtbl.copy t.selections);
+          if t.focus = d.Window.id then t.focus <- Xid.none)
+        (List.rev doomed);
+      Window.unlink top;
+      broadcast_survivors t ~except_cid:conn.cid ~window:top.Window.id
+        Event.Destroy_notify)
+    tops;
+  refuse_pending_converts t conn.cid;
+  update_pointer_window t
+
+let close conn = if not conn.dead then reap_connection conn
+
+let kill_connection conn =
+  if not conn.dead then begin
+    conn.crashed <- true;
+    reap_connection conn
+  end
+
+let set_crash_plan conn ~at_request = conn.crash_at <- max 0 at_request
+let crash_plan conn = conn.crash_at
+let connection_alive conn = not conn.dead
+let connection_crashed conn = conn.crashed
+
+let dead_conn_error conn =
+  Xerror.raise_error ~resource:Xid.none ~serial:conn.cstats.total_requests
+    Xerror.BadConnection
+
+(* Account for one protocol request; the logical clock ticks so event
+   timestamps stay ordered. The fault plan rejects the request after it
+   has been counted, as a real server rejects a request it received. A
+   dead connection rejects everything; the crash plan kills the
+   connection the moment its request counter reaches [crash_at]. *)
+let request ?(round_trip = false) ?(resource = Xid.none) conn kind =
+  if conn.dead then dead_conn_error conn;
+  let s = conn.cstats in
+  s.total_requests <- s.total_requests + 1;
+  if round_trip then s.round_trips <- s.round_trips + 1;
+  (match kind with
+  | Resource -> s.resource_allocs <- s.resource_allocs + 1
+  | Window_op -> s.window_requests <- s.window_requests + 1
+  | Draw -> s.draw_requests <- s.draw_requests + 1
+  | Property -> s.property_requests <- s.property_requests + 1
+  | Other -> ());
+  conn.server.clock <- conn.server.clock + 1;
+  if conn.crash_at > 0 && s.total_requests >= conn.crash_at then begin
+    kill_connection conn;
+    dead_conn_error conn
+  end;
+  maybe_inject conn kind resource
+
+let window_exists conn id =
+  request ~round_trip:true ~resource:id conn Other;
+  Hashtbl.mem conn.server.windows id
+
+(* ------------------------------------------------------------------ *)
+(* Atoms *)
+
+let intern_atom conn name =
+  request ~round_trip:true conn Other;
+  Atom.intern conn.server.atoms name
+
+let atom_name conn atom =
+  request ~round_trip:true conn Other;
+  Atom.name conn.server.atoms atom
 
 (* ------------------------------------------------------------------ *)
 (* Windows *)
@@ -491,6 +624,14 @@ let convert_selection conn ~selection ~target ~property ~requestor =
   in
   match lookup_window t owner with
   | Some owner_win ->
+    t.pending_converts <-
+      {
+        pc_selection = selection;
+        pc_target = target;
+        pc_requestor = requestor;
+        pc_owner_cid = owner_win.Window.owner_cid;
+      }
+      :: t.pending_converts;
     deliver t owner_win
       (Event.Selection_request
          {
@@ -516,6 +657,11 @@ let convert_selection conn ~selection ~target ~property ~requestor =
 let send_selection_notify conn ~requestor ~selection ~target ~property ~data =
   request conn Other;
   let t = conn.server in
+  t.pending_converts <-
+    List.filter
+      (fun pc ->
+        not (pc.pc_requestor = requestor && pc.pc_selection = selection))
+      t.pending_converts;
   match lookup_window t requestor with
   | None -> ()
   | Some req_win ->
@@ -614,41 +760,6 @@ let send_event conn id event =
   match lookup_window t id with
   | Some w -> deliver t w event
   | None -> ()
-
-let close conn =
-  if not conn.closed then begin
-    conn.closed <- true;
-    let t = conn.server in
-    (* Destroy this client's top-level windows (children of root that it
-       created), as the server does when a client exits. *)
-    let mine =
-      List.filter
-        (fun w -> w.Window.owner_cid = conn.cid)
-        t.root_win.Window.children
-    in
-    List.iter
-      (fun w ->
-        let doomed = Window.descendants w in
-        List.iter
-          (fun d ->
-            d.Window.destroyed <- true;
-            d.Window.mapped <- false;
-            deliver t d Event.Destroy_notify;
-            Hashtbl.remove t.windows d.Window.id;
-            (* Selections and focus held by a dying client's windows are
-               released, exactly as in destroy_window. *)
-            Hashtbl.iter
-              (fun sel owner ->
-                if owner = d.Window.id then Hashtbl.remove t.selections sel)
-              (Hashtbl.copy t.selections);
-            if t.focus = d.Window.id then t.focus <- Xid.none)
-          (List.rev doomed);
-        Window.unlink w)
-      mine;
-    Queue.clear conn.queue;
-    t.connections <- List.filter (fun c -> c.cid <> conn.cid) t.connections;
-    update_pointer_window t
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Input injection *)

@@ -33,8 +33,33 @@ val connect : t -> name:string -> connection
 (** Open a client connection ([name] is for diagnostics). *)
 
 val close : connection -> unit
-(** Close the connection: destroys every window it created (as the X
-    server does) and drops its queue. *)
+(** Orderly shutdown: destroys every window the client created (as the X
+    server does, deepest first — surviving owners of nested windows get
+    their [Destroy_notify]), releases the selections and focus it held,
+    refuses its unanswered selection conversions, notifies survivors of
+    the vanished top-level windows, and drops its queue. Any further
+    request on the connection raises [BadConnection]. *)
+
+val kill_connection : connection -> unit
+(** Abrupt crash: same reaping as {!close}, but the connection is marked
+    as crashed — the simulation of a client dying mid-session rather
+    than exiting. Distinct from {!close} only in intent (and in
+    {!connection_crashed}); both leave the connection dead. *)
+
+val connection_alive : connection -> bool
+
+val connection_crashed : connection -> bool
+(** Dead by {!kill_connection} (or the crash plan) rather than {!close}. *)
+
+val set_crash_plan : connection -> at_request:int -> unit
+(** Arm a scriptable crash: the connection dies (as by
+    {!kill_connection}) the moment its total request count reaches
+    [at_request], and that request raises [BadConnection]. [0] disarms.
+    Deterministic: same request stream, same point of death — the
+    crash-lifecycle analogue of {!set_fault_plan}. *)
+
+val crash_plan : connection -> int
+(** The armed [at_request] threshold (0 = disarmed). *)
 
 val root : t -> Xid.t
 val root_window : t -> Window.t
@@ -149,6 +174,10 @@ val set_window_cursor : connection -> Xid.t -> Cursor.t option -> unit
 val set_override_redirect : connection -> Xid.t -> bool -> unit
 
 val lookup_window : t -> Xid.t -> Window.t option
+
+val window_exists : connection -> Xid.t -> bool
+(** Round trip: does the window still exist? The liveness ping used by
+    [send] to distinguish a dead peer from a merely unresponsive one. *)
 
 val query_geometry : connection -> Xid.t -> Geom.rect option
 (** Round trip: window geometry in parent coordinates. The Tk structure

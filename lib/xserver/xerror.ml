@@ -6,6 +6,7 @@ type code =
   | BadMatch
   | BadName
   | BadFont
+  | BadConnection
 
 type info = {
   code : code;
@@ -24,6 +25,7 @@ let code_name = function
   | BadMatch -> "BadMatch"
   | BadName -> "BadName"
   | BadFont -> "BadFont"
+  | BadConnection -> "BadConnection"
 
 let describe e =
   Printf.sprintf "X protocol error: %s (resource 0x%x, serial %d)%s"

@@ -20,6 +20,10 @@ type code =
   | BadMatch
   | BadName  (** a named resource (color, cursor) does not exist *)
   | BadFont
+  | BadConnection
+      (** the connection is dead: the client closed it or crashed (real
+          Xlib reports this as an I/O error, not a protocol error; the
+          simulation folds both into one typed exception) *)
 
 type info = {
   code : code;

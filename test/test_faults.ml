@@ -267,15 +267,21 @@ let tkerror_tests =
 
 let send_tests =
   [
-    ( "send to a stale registry entry is a Tcl error, not a crash",
+    ( "stale registry entries are pruned; send reports them as unknown",
       fun () ->
         let _server, app = fresh_app () in
         (* Forge a registry entry whose communication window is dead, as
-           would linger after a peer crashed without cleanup. *)
+           would linger after a peer crashed without cleanup. The registry
+           garbage-collects it on the next read, so it is never visible in
+           [winfo interps] and a send reports an unknown interpreter (a
+           Tcl error, not a crash). *)
         let entries = Tk.Core.read_registry app in
         Tk.Core.write_registry app (entries @ [ ("ghost", 424242) ]);
+        check_bool "ghost never listed" false
+          (List.mem "ghost" (Tk.Sendcmd.interps app));
         let msg = expect_error app "send ghost set x 1" in
-        check_bool "reported as died" true (contains ~needle:"died" msg) );
+        check_bool "reported as unknown" true
+          (contains ~needle:"no registered interpreter" msg) );
     ( "send to a cleanly destroyed app reports no such interpreter",
       fun () ->
         let server, app = fresh_app () in
