@@ -179,16 +179,16 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 (* Table II: execution times *)
 
-let bench_set_a_1 () =
+let bench_set_a_1 ?quota () =
   let tcl = Tcl.Builtins.new_interp () in
-  measure_ns "set a 1" (fun () -> ignore (Tcl.Interp.eval tcl "set a 1"))
+  measure_ns ?quota "set a 1" (fun () -> ignore (Tcl.Interp.eval tcl "set a 1"))
 
-let bench_send_empty () =
+let bench_send_empty ?quota () =
   let server = Server.create () in
   let alpha = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"alpha" () in
   let _beta = Tk_widgets.Tk_widgets_lib.new_app ~server ~name:"beta" () in
   let ns =
-    measure_ns "send empty command" (fun () ->
+    measure_ns ?quota "send empty command" (fun () ->
         ignore (run_tcl alpha "send beta {}"))
   in
   (* Simulated protocol cost: requests for one send. *)
@@ -213,10 +213,10 @@ let create_destroy_buttons app n =
   ignore (run_tcl app (Buffer.contents buf));
   Tk.Core.update app
 
-let bench_50_buttons () =
+let bench_50_buttons ?(quota = 1.0) () =
   let _server, app = new_display_app "buttons" in
   let ns =
-    measure_ns ~quota:1.0 "create/display/delete 50 buttons" (fun () ->
+    measure_ns ~quota "create/display/delete 50 buttons" (fun () ->
         create_destroy_buttons app 50)
   in
   Server.reset_stats app.Tk.Core.conn;
@@ -374,25 +374,25 @@ let send_sweep () =
 (* ------------------------------------------------------------------ *)
 (* Ablations *)
 
+let rescache_ablation_case enabled =
+  let _server, app = new_display_app "cache" in
+  Tk.Rescache.set_enabled app.Tk.Core.cache enabled;
+  Server.reset_stats app.Tk.Core.conn;
+  (* 40 widgets sharing 2 colors and 1 font: the paper's "few resources
+     used in many widgets" case. *)
+  for i = 0 to 39 do
+    ignore
+      (run_tcl app
+         (Printf.sprintf
+            "button .b%d -text b%d -foreground black -background gray75" i i))
+  done;
+  Tk.Core.update app;
+  (Server.stats app.Tk.Core.conn).Server.resource_allocs
+
 let rescache_ablation () =
   section "Ablation: resource cache on/off (§3.3)";
-  let run_case enabled =
-    let _server, app = new_display_app "cache" in
-    Tk.Rescache.set_enabled app.Tk.Core.cache enabled;
-    Server.reset_stats app.Tk.Core.conn;
-    (* 40 widgets sharing 2 colors and 1 font: the paper's "few resources
-       used in many widgets" case. *)
-    for i = 0 to 39 do
-      ignore
-        (run_tcl app
-           (Printf.sprintf
-              "button .b%d -text b%d -foreground black -background gray75" i i))
-    done;
-    Tk.Core.update app;
-    (Server.stats app.Tk.Core.conn).Server.resource_allocs
-  in
-  let on = run_case true in
-  let off = run_case false in
+  let on = rescache_ablation_case true in
+  let off = rescache_ablation_case false in
   Printf.printf
     "  resource-allocation requests for 40 buttons: cache on = %d, cache off \
      = %d (%.0fx saved)\n"
@@ -493,8 +493,184 @@ let optiondb_ablation () =
     [ 10; 100; 1000 ]
 
 (* ------------------------------------------------------------------ *)
+(* JSON emission (--json FILE): the Table II numbers, the paper-style
+   traffic budgets, cache hit rates and the full metrics registry, in a
+   machine-readable file that seeds the repo's perf trajectory
+   (BENCH_pr3.json). --smoke shrinks measurement quotas for CI. *)
 
-let () =
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type json =
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec json_render buf indent = function
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_float f ->
+    (* A failed OLS estimate is nan; JSON has no nan, so emit null. *)
+    if not (Float.is_finite f) then Buffer.add_string buf "null"
+    else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+  | J_string s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s))
+  | J_list items ->
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ", ";
+        json_render buf indent item)
+      items;
+    Buffer.add_string buf "]"
+  | J_obj fields ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf
+          (Printf.sprintf "%s  \"%s\": " pad (json_escape k));
+        json_render buf (indent + 2) v)
+      fields;
+    Buffer.add_string buf (Printf.sprintf "\n%s}" pad)
+
+(* Counter values from Core.metrics_snapshot are decimal strings (the
+   sweep latencies are decimal floats); re-type them for JSON. *)
+let json_of_counter v =
+  match int_of_string_opt v with
+  | Some i -> J_int i
+  | None -> (
+    match float_of_string_opt v with Some f -> J_float f | None -> J_string v)
+
+(* The paper-style traffic budget: requests to create-and-display the
+   first button vs a second identical one (GC/resource cache, §3.3),
+   measured under tracing so the trace depth is exercised too. *)
+let button_traffic_budget () =
+  let _server, app = new_display_app "budget" in
+  let conn = app.Tk.Core.conn in
+  Server.set_tracing conn true;
+  let create i =
+    Tk.Core.reset_metrics app;
+    ignore (run_tcl app (Printf.sprintf "button .b%d -text {Button %d}" i i));
+    ignore (run_tcl app (Printf.sprintf "pack append . .b%d {top}" i));
+    Tk.Core.update app;
+    (Server.stats conn).Server.total_requests
+  in
+  let first = create 1 in
+  let second = create 2 in
+  let snapshot = Tk.Core.metrics_snapshot app in
+  (first, second, Server.trace_length conn, snapshot)
+
+let cache_hit_rate_workload () =
+  let _server, app = new_display_app "hitrate" in
+  Tk.Rescache.reset_counters app.Tk.Core.cache;
+  create_destroy_buttons app 40;
+  let hits = Tk.Rescache.hits app.Tk.Core.cache in
+  let misses = Tk.Rescache.misses app.Tk.Core.cache in
+  (hits, misses)
+
+let emit_json ~path ~smoke =
+  let quota = if smoke then Some 0.05 else None in
+  let set_ns = bench_set_a_1 ?quota () in
+  let send_ns, send_reqs, send_rts = bench_send_empty ?quota () in
+  let btn_ns, btn_reqs =
+    bench_50_buttons ~quota:(if smoke then 0.1 else 1.0) ()
+  in
+  let first_reqs, second_reqs, trace_records, snapshot =
+    button_traffic_budget ()
+  in
+  let hits, misses = cache_hit_rate_workload () in
+  let abl_on = rescache_ablation_case true in
+  let abl_off = rescache_ablation_case false in
+  let sweep =
+    List.map
+      (fun n ->
+        let _server, app = new_display_app (Printf.sprintf "sweep%d" n) in
+        create_destroy_buttons app n;
+        let runs = if smoke then 2 else 5 in
+        let dt =
+          time_wall (fun () ->
+              for _ = 1 to runs do
+                create_destroy_buttons app n
+              done)
+        in
+        let per_widget_us = dt /. float_of_int runs *. 1e6 /. float_of_int n in
+        J_obj [ ("widgets", J_int n); ("us_per_widget", J_float per_widget_us) ])
+      (if smoke then [ 10; 25 ] else [ 10; 25; 50; 100 ])
+  in
+  let doc =
+    J_obj
+      [
+        ("benchmark", J_string "tk-repro");
+        ("pr", J_int 3);
+        ("mode", J_string (if smoke then "smoke" else "full"));
+        ( "table2",
+          J_obj
+            [
+              ( "set_a_1",
+                J_obj
+                  [ ("ns_per_op", J_float set_ns); ("paper_us", J_int 68) ] );
+              ( "send_empty",
+                J_obj
+                  [
+                    ("ns_per_op", J_float send_ns);
+                    ("requests", J_int send_reqs);
+                    ("round_trips", J_int send_rts);
+                    ("paper_ms", J_int 15);
+                  ] );
+              ( "create_destroy_50_buttons",
+                J_obj
+                  [
+                    ("ns_per_op", J_float btn_ns);
+                    ("requests", J_int btn_reqs);
+                    ("paper_ms", J_int 440);
+                  ] );
+            ] );
+        ( "traffic_budget",
+          J_obj
+            [
+              ("first_button_requests", J_int first_reqs);
+              ("second_button_requests", J_int second_reqs);
+              ("trace_records", J_int trace_records);
+            ] );
+        ( "rescache",
+          J_obj
+            [
+              ("hits", J_int hits);
+              ("misses", J_int misses);
+              ( "hit_rate",
+                J_float (float_of_int hits /. float_of_int (max 1 (hits + misses)))
+              );
+              ("ablation_allocs_cache_on", J_int abl_on);
+              ("ablation_allocs_cache_off", J_int abl_off);
+            ] );
+        ("widget_sweep", J_list sweep);
+        ( "counters",
+          J_obj (List.map (fun (k, v) -> (k, json_of_counter v)) snapshot) );
+      ]
+  in
+  let buf = Buffer.create 4096 in
+  json_render buf 0 doc;
+  Buffer.add_char buf '\n';
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buf)
+
+(* ------------------------------------------------------------------ *)
+
+let full_suite () =
   print_endline "Tk reproduction benchmarks (paper: Ousterhout, USENIX '91)";
   print_endline "Absolute numbers are 2020s-OCaml-vs-1990-C; compare shapes.";
   table1 ();
@@ -508,3 +684,17 @@ let () =
   binding_ablation ();
   optiondb_ablation ();
   print_newline ()
+
+let () =
+  let rec parse json smoke = function
+    | [] -> (json, smoke)
+    | "--json" :: path :: rest -> parse (Some path) smoke rest
+    | "--smoke" :: rest -> parse json true rest
+    | arg :: _ ->
+      Printf.eprintf "usage: main.exe ?--json FILE? ?--smoke?\n";
+      Printf.eprintf "unknown argument: %s\n" arg;
+      exit 2
+  in
+  match parse None false (List.tl (Array.to_list Sys.argv)) with
+  | Some path, smoke -> emit_json ~path ~smoke
+  | None, _ -> full_suite ()

@@ -16,6 +16,14 @@
      crashtest at N | kill APP | status
                                arm the crash plan / kill a peer / report
 
+   Two observability commands are part of the standard command set (so
+   they also work in embedded apps and tests, not just wish):
+
+     xtrace on ?cap?|off|dump|clear|status
+                               per-request wire trace (bounded ring)
+     xstat ?reset|get NAME?    every counter the stack keeps, as a Tcl
+                               list of name/value pairs
+
    The -faults N flag arms the server's fault-injection plan so every
    N-th request is rejected with an X protocol error — a robustness
    torture test for scripts and widgets (use faultstats to verify that

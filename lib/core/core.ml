@@ -107,6 +107,7 @@ and app = {
   options : Optiondb.t;
   bindings : (string, binding list ref) Hashtbl.t;
   disp : Dispatch.t;
+  metrics : Metrics.t;
   mutable focus_path : string option;
   comm_win : Xid.t;
   mutable send_serial : int;
@@ -377,16 +378,29 @@ let make_class ~name ~specs () =
 (* Geometry plumbing *)
 
 let schedule_redraw w =
-  if (not w.redraw_pending) && not w.destroyed then begin
+  let m = w.app.metrics in
+  if w.redraw_pending then
+    (* Idle-time redisplay (paper §3.2): this repaint rides the one
+       already scheduled. The collapsed count is the traffic saved. *)
+    m.Metrics.redraws_collapsed <- m.Metrics.redraws_collapsed + 1
+  else if not w.destroyed then begin
     w.redraw_pending <- true;
+    m.Metrics.redraws_scheduled <- m.Metrics.redraws_scheduled + 1;
     Dispatch.when_idle w.app.disp (fun () ->
         w.redraw_pending <- false;
-        if (not w.destroyed) && w.mapped then
+        (* Re-check at sweep time: the widget may have been destroyed
+           after this redraw was scheduled; drawing into its (possibly
+           recycled) window would be wrong. *)
+        if w.destroyed then
+          m.Metrics.redraws_skipped_dead <- m.Metrics.redraws_skipped_dead + 1
+        else if w.mapped then begin
+          m.Metrics.redraws_drawn <- m.Metrics.redraws_drawn + 1;
           (* A rejected request mid-repaint leaves the window partially
              drawn until the next Expose — but the application lives on. *)
           absorb w.app ~default:() (fun () ->
               Server.clear_window w.app.conn w.win;
-              w.wclass.display w))
+              w.wclass.display w)
+        end)
   end
 
 let move_resize w ~x ~y ~width ~height =
@@ -622,6 +636,8 @@ let run_bindings app w event ~click_count ~time =
   match best with
   | None -> ()
   | Some (_, b) ->
+    app.metrics.Metrics.binding_dispatches <-
+      app.metrics.Metrics.binding_dispatches + 1;
     let script = percent_substitute b.bscript w event ~time in
     eval_callback app ~context:(Printf.sprintf "binding for %s" w.path) script
 
@@ -953,6 +969,48 @@ let update app =
 
 let update_all server = List.iter update (local_apps server)
 
+(* ------------------------------------------------------------------ *)
+(* Metrics registry: every counter the stack keeps, in one flat list
+   (the [xstat] command and the bench JSON emitter read this). *)
+
+let metrics_snapshot app =
+  let s = Server.stats app.conn in
+  let d = Dispatch.counters app.disp in
+  let ms f = Printf.sprintf "%.3f" f in
+  [
+    ("requests_total", string_of_int s.Server.total_requests);
+    ("round_trips", string_of_int s.Server.round_trips);
+    ("requests_resource", string_of_int s.Server.resource_allocs);
+    ("requests_window", string_of_int s.Server.window_requests);
+    ("requests_draw", string_of_int s.Server.draw_requests);
+    ("requests_property", string_of_int s.Server.property_requests);
+    ("rescache_hits", string_of_int (Rescache.hits app.cache));
+    ("rescache_misses", string_of_int (Rescache.misses app.cache));
+    ("rescache_fallbacks", string_of_int (Rescache.fallbacks app.cache));
+  ]
+  @ Metrics.to_list app.metrics
+  @ [
+      ("timers_fired", string_of_int d.Dispatch.timers_fired);
+      ("idles_run", string_of_int d.Dispatch.idles_run);
+      ("dispatch_sweeps", string_of_int d.Dispatch.sweeps);
+      ("sweep_ms_total", ms d.Dispatch.sweep_ms_total);
+      ("sweep_ms_last", ms d.Dispatch.sweep_ms_last);
+      ("faults_injected", string_of_int (Server.faults_injected app.server));
+      ("faults_absorbed", string_of_int (Server.faults_absorbed app.server));
+      ("trace_records", string_of_int (Server.trace_length app.conn));
+    ]
+
+let metric app name =
+  List.assoc_opt name (metrics_snapshot app)
+
+(* Server fault counters are display-global (other clients' absorption
+   accounting rides on them), so a per-app reset leaves them alone. *)
+let reset_metrics app =
+  Server.reset_stats app.conn;
+  Rescache.reset_counters app.cache;
+  Metrics.reset app.metrics;
+  Dispatch.reset_counters app.disp
+
 let mainloop app =
   while not app.app_destroyed do
     update app;
@@ -962,15 +1020,11 @@ let mainloop app =
         | Some ms -> float_of_int (min ms 50) /. 1000.0
         | None -> 0.05
       in
-      let fired = Dispatch.poll_files app.disp ~timeout in
-      if
-        fired = 0
-        && Server.pending app.conn = 0
-        && not (Dispatch.has_work app.disp)
-      then
-        (* Nothing to do: in a real Tk this blocks in select(); here the
-           only other event sources are in-process, so idle briefly. *)
-        ignore (Unix.select [] [] [] 0.001)
+      (* poll_files honors the timeout even with no registered files, so
+         this is where the loop blocks between events — no busy-spin when
+         a timer is due in under a millisecond (next_deadline_ms rounds
+         up) and no separate idle nap needed. *)
+      ignore (Dispatch.poll_files app.disp ~timeout)
     end
   done
 
@@ -1138,6 +1192,7 @@ let create_app ?(app_class = "Tk") ~server ~name () =
       options = Optiondb.create ();
       bindings = Hashtbl.create 32;
       disp = Dispatch.create ();
+      metrics = Metrics.create ();
       focus_path = None;
       comm_win;
       send_serial = 0;

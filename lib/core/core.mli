@@ -109,6 +109,7 @@ and app = {
   options : Optiondb.t;
   bindings : (string, binding list ref) Hashtbl.t;
   disp : Dispatch.t;
+  metrics : Metrics.t;  (** toolkit-side counters (see {!metrics_snapshot}) *)
   mutable focus_path : string option;
   comm_win : Xid.t;  (** hidden window used by the [send] protocol *)
   mutable send_serial : int;
@@ -284,6 +285,27 @@ val update_all : Server.t -> unit
 val mainloop : app -> unit
 (** Loop until the application is destroyed: X events, timers, file
     handlers, idle callbacks. *)
+
+(** {1 Metrics}
+
+    One registry over every counter the stack keeps: the connection's
+    request {!Xsim.Server.stats}, resource-cache hits/misses/fallbacks,
+    redraw scheduling/coalescing, binding dispatches, dispatcher
+    timer/idle counts and sweep latency, and the display's fault
+    counters. The [xstat] Tcl command and the bench JSON emitter are
+    thin wrappers over this. *)
+
+val metrics_snapshot : app -> (string * string) list
+(** Current value of every counter, as name/value pairs (values are
+    decimal integers except the [sweep_ms_*] latencies). *)
+
+val metric : app -> string -> string option
+(** One counter from {!metrics_snapshot}, by name. *)
+
+val reset_metrics : app -> unit
+(** Zero the per-application counters (request stats, cache counters,
+    redraw/binding counters, dispatcher counters). Display-global fault
+    counters are left alone — other clients' accounting rides on them. *)
 
 val eval_callback : app -> ?context:string -> string -> unit
 (** Evaluate a Tcl script triggered by an event/timer; errors go to

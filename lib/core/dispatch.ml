@@ -2,6 +2,14 @@ type timer_id = int
 
 type timer = { tid : timer_id; deadline : float; callback : unit -> unit }
 
+type counters = {
+  timers_fired : int;
+  idles_run : int;
+  sweeps : int;
+  sweep_ms_total : float;
+  sweep_ms_last : float;
+}
+
 type t = {
   mutable clock : unit -> float;
   mutable sleep : int -> unit; (* ms *)
@@ -10,6 +18,11 @@ type t = {
   mutable idle : (unit -> unit) list; (* reversed queue *)
   mutable files : (Unix.file_descr * (unit -> unit)) list;
   mutable on_error : exn -> unit;
+  mutable timers_fired : int;
+  mutable idles_run : int;
+  mutable sweeps : int;
+  mutable sweep_ms_total : float;
+  mutable sweep_ms_last : float;
 }
 
 let default_sleep ms =
@@ -24,7 +37,39 @@ let create ?clock () =
     idle = [];
     files = [];
     on_error = raise;
+    timers_fired = 0;
+    idles_run = 0;
+    sweeps = 0;
+    sweep_ms_total = 0.0;
+    sweep_ms_last = 0.0;
   }
+
+let counters t =
+  {
+    timers_fired = t.timers_fired;
+    idles_run = t.idles_run;
+    sweeps = t.sweeps;
+    sweep_ms_total = t.sweep_ms_total;
+    sweep_ms_last = t.sweep_ms_last;
+  }
+
+let reset_counters t =
+  t.timers_fired <- 0;
+  t.idles_run <- 0;
+  t.sweeps <- 0;
+  t.sweep_ms_total <- 0.0;
+  t.sweep_ms_last <- 0.0
+
+(* Latency of one callback sweep, measured on the pluggable clock so
+   virtual-clock tests see deterministic numbers. Empty sweeps are not
+   counted: they would drown the signal in [update]'s quiescence loop. *)
+let note_sweep t ~t0 ~ran =
+  if ran > 0 then begin
+    let ms = (t.clock () -. t0) *. 1000.0 in
+    t.sweeps <- t.sweeps + 1;
+    t.sweep_ms_total <- t.sweep_ms_total +. ms;
+    t.sweep_ms_last <- ms
+  end
 
 let set_clock t clock = t.clock <- clock
 let set_sleep t sleep = t.sleep <- sleep
@@ -78,17 +123,31 @@ let run_due_timers t =
   in
   t.timers <- remaining;
   List.iter (fun timer -> protect t timer.callback) due;
-  List.length due
+  let n = List.length due in
+  t.timers_fired <- t.timers_fired + n;
+  note_sweep t ~t0:now ~ran:n;
+  n
 
 let run_idle t =
+  let t0 = t.clock () in
   (* Snapshot: callbacks scheduled while running go to the next sweep. *)
   let callbacks = List.rev t.idle in
   t.idle <- [];
   List.iter (fun f -> protect t f) callbacks;
-  List.length callbacks
+  let n = List.length callbacks in
+  t.idles_run <- t.idles_run + n;
+  note_sweep t ~t0 ~ran:n;
+  n
 
 let poll_files t ~timeout =
-  if t.files = [] then 0
+  if t.files = [] then begin
+    (* No descriptors to select on: still honor the timeout (through the
+       pluggable sleep, so virtual-clock tests stay deterministic) instead
+       of returning immediately and letting the caller busy-spin toward
+       the next timer deadline. *)
+    sleep_ms t (int_of_float (Float.round (timeout *. 1000.0)));
+    0
+  end
   else
     let fds = List.map fst t.files in
     match Unix.select fds [] [] timeout with
@@ -106,6 +165,8 @@ let next_deadline_ms t =
   match t.timers with
   | [] -> None
   | timer :: _ ->
-    Some (max 0 (int_of_float ((timer.deadline -. t.clock ()) *. 1000.0)))
+    (* Round up: a timer due in 0.4 ms must yield 1, not 0 — [Some 0]
+       for a not-yet-due timer makes deadline-driven poll loops spin. *)
+    Some (max 0 (int_of_float (Float.ceil ((timer.deadline -. t.clock ()) *. 1000.0))))
 
 let has_work t = t.timers <> [] || t.idle <> []

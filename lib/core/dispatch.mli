@@ -9,6 +9,18 @@ type t
 
 type timer_id = int
 
+(** Dispatcher activity counters (cumulative since creation or the last
+    {!reset_counters}). Sweep latency is measured on the pluggable clock,
+    so virtual-clock tests see deterministic values; sweeps that ran no
+    callbacks are not counted. *)
+type counters = {
+  timers_fired : int;
+  idles_run : int;
+  sweeps : int;  (** timer/idle sweeps that ran at least one callback *)
+  sweep_ms_total : float;
+  sweep_ms_last : float;
+}
+
 val create : ?clock:(unit -> float) -> unit -> t
 (** [clock] returns seconds (default: wall clock). *)
 
@@ -61,10 +73,19 @@ val run_idle : t -> int
 
 val poll_files : t -> timeout:float -> int
 (** Select on registered descriptors for at most [timeout] seconds,
-    invoking handlers for the readable ones; returns how many fired. *)
+    invoking handlers for the readable ones; returns how many fired.
+    With no registered descriptors the call still passes [timeout]
+    through the pluggable sleep (deterministic under the virtual clock)
+    rather than returning immediately. *)
 
 val next_deadline_ms : t -> int option
-(** Milliseconds until the earliest timer, if any (0 when overdue). *)
+(** Milliseconds until the earliest timer, if any — rounded {e up}, so a
+    pending timer never reports 0 before it is actually due (0 only when
+    overdue). *)
 
 val has_work : t -> bool
 (** Are there timers or idle callbacks outstanding? *)
+
+val counters : t -> counters
+
+val reset_counters : t -> unit

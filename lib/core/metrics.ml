@@ -1,0 +1,32 @@
+type t = {
+  mutable redraws_scheduled : int;
+  mutable redraws_collapsed : int;
+  mutable redraws_drawn : int;
+  mutable redraws_skipped_dead : int;
+  mutable binding_dispatches : int;
+}
+
+let create () =
+  {
+    redraws_scheduled = 0;
+    redraws_collapsed = 0;
+    redraws_drawn = 0;
+    redraws_skipped_dead = 0;
+    binding_dispatches = 0;
+  }
+
+let reset t =
+  t.redraws_scheduled <- 0;
+  t.redraws_collapsed <- 0;
+  t.redraws_drawn <- 0;
+  t.redraws_skipped_dead <- 0;
+  t.binding_dispatches <- 0
+
+let to_list t =
+  [
+    ("redraws_scheduled", string_of_int t.redraws_scheduled);
+    ("redraws_collapsed", string_of_int t.redraws_collapsed);
+    ("redraws_drawn", string_of_int t.redraws_drawn);
+    ("redraws_skipped_dead", string_of_int t.redraws_skipped_dead);
+    ("binding_dispatches", string_of_int t.binding_dispatches);
+  ]

@@ -1,0 +1,28 @@
+(** Toolkit-side activity counters.
+
+    One instance lives on each {!Core.app}; the intrinsics bump it from
+    the hot paths the paper's evaluation cares about — redraw coalescing
+    (how many repaints the [redraw_pending] flag collapsed, §3.2's
+    idle-time redisplay) and binding dispatch. Together with the server
+    request {!Xsim.Server.stats}, the {!Rescache} hit/miss counters and
+    the {!Dispatch.counters}, these form the registry that
+    [Core.metrics_snapshot] (and the [xstat] Tcl command) expose. *)
+
+type t = {
+  mutable redraws_scheduled : int;
+      (** calls to [schedule_redraw] that armed an idle callback *)
+  mutable redraws_collapsed : int;
+      (** calls coalesced into an already-pending redraw *)
+  mutable redraws_drawn : int;  (** display procedures actually run *)
+  mutable redraws_skipped_dead : int;
+      (** scheduled redraws dropped because the widget was destroyed
+          between scheduling and the idle sweep *)
+  mutable binding_dispatches : int;  (** binding scripts dispatched *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val to_list : t -> (string * string) list
+(** Counter name/value pairs, values rendered as decimal strings. *)

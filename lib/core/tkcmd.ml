@@ -256,6 +256,55 @@ let cmd_tkwait app : Tcl.Interp.command =
   | _ -> Tcl.Interp.wrong_args "tkwait variable|window name"
 
 (* ------------------------------------------------------------------ *)
+(* xtrace / xstat: wire-traffic observability (§7's evaluation currency
+   is "server traffic avoided"; these let scripts see and assert it) *)
+
+let cmd_xtrace app : Tcl.Interp.command =
+ fun _interp words ->
+  let conn = app.Core.conn in
+  match words with
+  | [ _; "on" ] ->
+    Xsim.Server.set_tracing conn true;
+    ok ""
+  | [ _; "on"; capacity ] -> (
+    match int_of_string_opt capacity with
+    | Some c when c > 0 ->
+      Xsim.Server.set_tracing ~capacity:c conn true;
+      ok ""
+    | Some _ | None -> failf "expected positive integer but got \"%s\"" capacity)
+  | [ _; "off" ] ->
+    Xsim.Server.set_tracing conn false;
+    ok ""
+  | [ _; "dump" ] -> ok (Xsim.Server.trace_dump conn)
+  | [ _; "clear" ] ->
+    Xsim.Server.clear_trace conn;
+    ok ""
+  | [ _; "status" ] ->
+    ok
+      (Printf.sprintf "%s %d"
+         (if Xsim.Server.tracing conn then "on" else "off")
+         (Xsim.Server.trace_length conn))
+  | _ -> Tcl.Interp.wrong_args "xtrace on ?capacity?|off|dump|clear|status"
+
+let cmd_xstat app : Tcl.Interp.command =
+ fun _interp words ->
+  match words with
+  | [ _ ] ->
+    ok
+      (Tcl.Tcl_list.format
+         (List.concat_map
+            (fun (name, value) -> [ name; value ])
+            (Core.metrics_snapshot app)))
+  | [ _; "reset" ] ->
+    Core.reset_metrics app;
+    ok ""
+  | [ _; "get"; name ] -> (
+    match Core.metric app name with
+    | Some v -> ok v
+    | None -> failf "unknown counter \"%s\"" name)
+  | _ -> Tcl.Interp.wrong_args "xstat ?reset|get counter?"
+
+(* ------------------------------------------------------------------ *)
 (* wm: a minimal window-manager interface (we are our own WM) *)
 
 let cmd_wm app : Tcl.Interp.command =
@@ -347,6 +396,8 @@ let install app =
   register "tkwait" cmd_tkwait;
   register "grab" cmd_grab;
   register "wm" cmd_wm;
+  register "xtrace" cmd_xtrace;
+  register "xstat" cmd_xstat;
   Pack.install app;
   Place.install app;
   Selection.install app;

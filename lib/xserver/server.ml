@@ -39,7 +39,7 @@ type t = {
   atoms : Atom.table;
   root_win : Window.t;
   windows : (Xid.t, Window.t) Hashtbl.t;
-  mutable connections : connection list;
+  connections : (int, connection) Hashtbl.t; (* cid -> live connection *)
   mutable next_cid : int;
   mutable clock : int;
   selections : (Atom.t, Xid.t) Hashtbl.t;
@@ -61,6 +61,8 @@ and connection = {
   mutable dead : bool;
   mutable crashed : bool; (* dead by crash, not orderly close *)
   mutable crash_at : int; (* crash plan: die at this request number; 0 = off *)
+  mutable tracing : bool;
+  mutable trace : req_kind Trace.t;
 }
 
 let new_stats () =
@@ -89,7 +91,7 @@ let create ?(width = 1024) ?(height = 768) () =
     atoms = Atom.table ();
     root_win;
     windows;
-    connections = [];
+    connections = Hashtbl.create 8;
     next_cid = 1;
     clock = 0;
     selections = Hashtbl.create 4;
@@ -124,10 +126,12 @@ let connect server ~name =
       dead = false;
       crashed = false;
       crash_at = 0;
+      tracing = false;
+      trace = Trace.create ();
     }
   in
   server.next_cid <- server.next_cid + 1;
-  server.connections <- server.connections @ [ conn ];
+  Hashtbl.replace server.connections conn.cid conn;
   conn
 
 let root t = t.root_win.Window.id
@@ -176,7 +180,18 @@ let reset_fault_counters t =
   t.faults.absorbed <- 0
 
 let note_absorbed t (e : Xerror.info) =
-  if e.Xerror.injected then t.faults.absorbed <- t.faults.absorbed + 1
+  if e.Xerror.injected then begin
+    t.faults.absorbed <- t.faults.absorbed + 1;
+    (* Upgrade the trace record of the absorbed request. The serial is
+       per-connection, so stop at the first tracing connection that still
+       holds a matching injected-fault record. *)
+    let flipped = ref false in
+    Hashtbl.iter
+      (fun _ c ->
+        if (not !flipped) && c.tracing then
+          flipped := Trace.mark_absorbed c.trace ~serial:e.Xerror.serial)
+      t.connections
+  end
 
 (* The error code a rejected request of each class would carry. *)
 let code_for_kind = function
@@ -217,7 +232,7 @@ let window_exn conn id =
     Xerror.raise_error ~resource:id ~serial:conn.cstats.total_requests
       Xerror.BadWindow
 
-let find_connection t cid = List.find_opt (fun c -> c.cid = cid) t.connections
+let find_connection t cid = Hashtbl.find_opt t.connections cid
 
 let deliver_to_cid t ~cid ~window event =
   match find_connection t cid with
@@ -232,8 +247,8 @@ let deliver t win event =
 (* Root-window SubstructureNotify approximation: tell every surviving
    client about a structural change it did not cause itself. *)
 let broadcast_survivors t ~except_cid ~window event =
-  List.iter
-    (fun c ->
+  Hashtbl.iter
+    (fun _ c ->
       if c.cid <> except_cid && not c.dead then
         Queue.add { Event.window; time = t.clock; event } c.queue)
     t.connections
@@ -299,7 +314,7 @@ let reap_connection conn =
   let t = conn.server in
   conn.dead <- true;
   Queue.clear conn.queue;
-  t.connections <- List.filter (fun c -> c.cid <> conn.cid) t.connections;
+  Hashtbl.remove t.connections conn.cid;
   (* Top-most windows owned by the client: every other window it owned is
      a descendant of one of these and dies with the subtree. *)
   let tops =
@@ -360,13 +375,50 @@ let dead_conn_error conn =
   Xerror.raise_error ~resource:Xid.none ~serial:conn.cstats.total_requests
     Xerror.BadConnection
 
+(* ------------------------------------------------------------------ *)
+(* Wire tracing *)
+
+let kind_name = function
+  | Resource -> "resource"
+  | Window_op -> "window"
+  | Draw -> "draw"
+  | Property -> "property"
+  | Other -> "other"
+
+let set_tracing ?capacity conn flag =
+  (match capacity with
+  | Some c when c <> Trace.capacity conn.trace ->
+    conn.trace <- Trace.create ~capacity:c ()
+  | _ -> ());
+  conn.tracing <- flag
+
+let tracing conn = conn.tracing
+let trace conn = Trace.to_list conn.trace
+let trace_length conn = Trace.length conn.trace
+let clear_trace conn = Trace.clear conn.trace
+let trace_dump conn = Trace.dump ~kind_name conn.trace
+
+let record_trace conn kind resource outcome =
+  if conn.tracing then
+    Trace.add conn.trace
+      {
+        Trace.serial = conn.cstats.total_requests;
+        kind;
+        resource;
+        time = conn.server.clock;
+        outcome;
+      }
+
 (* Account for one protocol request; the logical clock ticks so event
    timestamps stay ordered. The fault plan rejects the request after it
    has been counted, as a real server rejects a request it received. A
    dead connection rejects everything; the crash plan kills the
    connection the moment its request counter reaches [crash_at]. *)
 let request ?(round_trip = false) ?(resource = Xid.none) conn kind =
-  if conn.dead then dead_conn_error conn;
+  if conn.dead then begin
+    record_trace conn kind resource Trace.Bad_connection;
+    dead_conn_error conn
+  end;
   let s = conn.cstats in
   s.total_requests <- s.total_requests + 1;
   if round_trip then s.round_trips <- s.round_trips + 1;
@@ -379,9 +431,14 @@ let request ?(round_trip = false) ?(resource = Xid.none) conn kind =
   conn.server.clock <- conn.server.clock + 1;
   if conn.crash_at > 0 && s.total_requests >= conn.crash_at then begin
     kill_connection conn;
+    record_trace conn kind resource Trace.Bad_connection;
     dead_conn_error conn
   end;
-  maybe_inject conn kind resource
+  match maybe_inject conn kind resource with
+  | () -> record_trace conn kind resource Trace.Ok
+  | exception (Xerror.X_error _ as e) ->
+    record_trace conn kind resource Trace.Injected_fault;
+    raise e
 
 let window_exists conn id =
   request ~round_trip:true ~resource:id conn Other;

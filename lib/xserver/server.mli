@@ -90,6 +90,35 @@ val advance_time : t -> int -> unit
     injected faults ([Resource] = color/font/cursor/bitmap/GC allocation). *)
 type req_kind = Resource | Window_op | Draw | Property | Other
 
+val kind_name : req_kind -> string
+(** ["resource"], ["window"], ["draw"], ["property"], ["other"]. *)
+
+(** {1 Wire tracing}
+
+    Each connection carries a bounded ring of {!Trace.record}s. While
+    tracing is enabled, every protocol request appends one record
+    (serial, class, resource, logical timestamp, outcome); the ring
+    overwrites its oldest entry once full, so tracing can stay on for a
+    whole session. Requests made while tracing is off are only counted
+    in {!stats}, not traced. *)
+
+val set_tracing : ?capacity:int -> connection -> bool -> unit
+(** Enable/disable tracing. [capacity] (default {!Trace.default_capacity})
+    resizes the ring, discarding existing records, when it differs from
+    the current capacity. *)
+
+val tracing : connection -> bool
+
+val trace : connection -> req_kind Trace.record list
+(** The ring's contents, oldest first. *)
+
+val trace_length : connection -> int
+
+val clear_trace : connection -> unit
+
+val trace_dump : connection -> string
+(** Human-readable table: serial, timestamp, class, resource, outcome. *)
+
 val set_fault_plan :
   t -> ?seed:int -> ?fail_every_nth:int -> ?fail_kind:req_kind -> unit -> unit
 (** Arm the plan: every [fail_every_nth]-th request (phase-shifted by
