@@ -467,6 +467,157 @@ let binding_ablation () =
       Printf.printf "%10d %15.2f us\n" k (dt *. 1e6 /. float_of_int n))
     [ 1; 10; 50; 100 ]
 
+(* ------------------------------------------------------------------ *)
+(* Ablation: the parse-once compile caches (script + expr). Three hot
+   shapes where the same script text is evaluated over and over — a
+   recursive proc, a tight while loop, and event-binding dispatch — run
+   with the caches on and off. The parse_passes counter shows how many
+   full scans of script text each mode performed. *)
+
+let compile_stat_int tcl key =
+  match List.assoc_opt key (Tcl.Interp.compile_stats tcl) with
+  | Some v -> int_of_string v
+  | None -> 0
+
+let bench_fib ~n enabled =
+  let tcl = Tcl.Builtins.new_interp () in
+  Tcl.Interp.set_compile_enabled tcl enabled;
+  ignore
+    (Tcl.Interp.eval tcl
+       "proc fib {n} {\n\
+       \  if {$n < 2} {return $n}\n\
+       \  expr {[fib [expr {$n - 1}]] + [fib [expr {$n - 2}]]}\n\
+        }");
+  let call = Printf.sprintf "fib %d" n in
+  (match Tcl.Interp.eval tcl call with
+  | Tcl.Interp.Tcl_ok, _ -> ()
+  | _, msg -> failwith ("fib bench failed: " ^ msg));
+  Tcl.Interp.reset_compile_stats tcl;
+  let dt = time_wall (fun () -> ignore (Tcl.Interp.eval tcl call)) in
+  (dt, compile_stat_int tcl "parse_passes")
+
+let bench_while_10k enabled =
+  let tcl = Tcl.Builtins.new_interp () in
+  Tcl.Interp.set_compile_enabled tcl enabled;
+  let script =
+    "set total 0\n\
+     set i 0\n\
+     while {$i < 10000} {\n\
+    \  incr total $i\n\
+    \  incr i\n\
+     }\n\
+     set total"
+  in
+  ignore (Tcl.Interp.eval tcl script);
+  Tcl.Interp.reset_compile_stats tcl;
+  let dt =
+    time_wall (fun () ->
+        match Tcl.Interp.eval tcl script with
+        | Tcl.Interp.Tcl_ok, "49995000" -> ()
+        | _, v -> failwith ("while bench wrong result: " ^ v))
+  in
+  (dt, compile_stat_int tcl "parse_passes")
+
+(* A grid of buttons, each with a key binding; the pointer parks over one
+   and a storm of keystrokes dispatches the same binding script. *)
+let bench_binding_storm ~events enabled =
+  let server, app =
+    new_display_app (if enabled then "storm-on" else "storm-off")
+  in
+  Tcl.Interp.set_compile_enabled app.Tk.Core.interp enabled;
+  let buf = Buffer.create 512 in
+  for i = 0 to 11 do
+    Buffer.add_string buf (Printf.sprintf "button .b%d -text b%d\n" i i);
+    Buffer.add_string buf (Printf.sprintf "pack append . .b%d {top}\n" i);
+    Buffer.add_string buf (Printf.sprintf "bind .b%d z {incr hits}\n" i)
+  done;
+  ignore (run_tcl app (Buffer.contents buf));
+  ignore (run_tcl app "set hits 0");
+  Tk.Core.update app;
+  let w = Tk.Core.lookup_exn app ".b5" in
+  let win = Option.get (Server.lookup_window server w.Tk.Core.win) in
+  let p = Window.root_position win in
+  Server.inject_motion server ~x:(p.Geom.x + 2) ~y:(p.Geom.y + 2);
+  Tk.Core.update app;
+  Server.inject_key server ~keysym:"z" ~pressed:true;
+  Tk.Core.update app;
+  Tk.Core.reset_metrics app;
+  let dt =
+    time_wall (fun () ->
+        for _ = 1 to events do
+          Server.inject_key server ~keysym:"z" ~pressed:true;
+          Tk.Core.update app
+        done)
+  in
+  let m key =
+    match Tk.Core.metric app ("tcl.compile." ^ key) with
+    | Some v -> int_of_string v
+    | None -> 0
+  in
+  let hits = m "script_hits" and misses = m "script_misses" in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  (dt, m "parse_passes", hit_rate)
+
+type script_case = {
+  sc_name : string;
+  sc_on_s : float;
+  sc_off_s : float;
+  sc_on_passes : int;
+  sc_off_passes : int;
+  sc_hit_rate : float option; (* binding storm only *)
+}
+
+let collect_script_cases ~smoke =
+  let fib_n = if smoke then 14 else 17 in
+  let events = if smoke then 300 else 3000 in
+  let fib_on, fib_on_p = bench_fib ~n:fib_n true in
+  let fib_off, fib_off_p = bench_fib ~n:fib_n false in
+  let wh_on, wh_on_p = bench_while_10k true in
+  let wh_off, wh_off_p = bench_while_10k false in
+  let st_on, st_on_p, st_rate = bench_binding_storm ~events true in
+  let st_off, st_off_p, _ = bench_binding_storm ~events false in
+  [
+    {
+      sc_name = Printf.sprintf "fib %d (recursive proc)" fib_n;
+      sc_on_s = fib_on;
+      sc_off_s = fib_off;
+      sc_on_passes = fib_on_p;
+      sc_off_passes = fib_off_p;
+      sc_hit_rate = None;
+    };
+    {
+      sc_name = "while 10k accumulate";
+      sc_on_s = wh_on;
+      sc_off_s = wh_off;
+      sc_on_passes = wh_on_p;
+      sc_off_passes = wh_off_p;
+      sc_hit_rate = None;
+    };
+    {
+      sc_name = Printf.sprintf "binding storm (%d keys)" events;
+      sc_on_s = st_on;
+      sc_off_s = st_off;
+      sc_on_passes = st_on_p;
+      sc_off_passes = st_off_p;
+      sc_hit_rate = Some st_rate;
+    };
+  ]
+
+let scripts_ablation () =
+  section "Ablation: parse-once script/expr caches on vs off";
+  Printf.printf "%-28s %12s %12s %9s %11s %11s\n" "workload" "cache on"
+    "cache off" "speedup" "passes on" "passes off";
+  List.iter
+    (fun c ->
+      Printf.printf "%-28s %9.2f ms %9.2f ms %8.1fx %11d %11d%s\n" c.sc_name
+        (c.sc_on_s *. 1000.0) (c.sc_off_s *. 1000.0)
+        (c.sc_off_s /. Float.max 1e-9 c.sc_on_s)
+        c.sc_on_passes c.sc_off_passes
+        (match c.sc_hit_rate with
+        | Some r -> Printf.sprintf "  (hit rate %.1f%%)" (r *. 100.0)
+        | None -> ""))
+    (collect_script_cases ~smoke:false)
+
 let optiondb_ablation () =
   section "Ablation: option database lookup vs database size (§3.5)";
   Printf.printf "%10s %18s\n" "entries" "per lookup";
@@ -594,6 +745,24 @@ let emit_json ~path ~smoke =
   let hits, misses = cache_hit_rate_workload () in
   let abl_on = rescache_ablation_case true in
   let abl_off = rescache_ablation_case false in
+  let scripts =
+    List.map
+      (fun c ->
+        J_obj
+          ([
+             ("workload", J_string c.sc_name);
+             ("cache_on_ms", J_float (c.sc_on_s *. 1000.0));
+             ("cache_off_ms", J_float (c.sc_off_s *. 1000.0));
+             ("speedup", J_float (c.sc_off_s /. Float.max 1e-9 c.sc_on_s));
+             ("parse_passes_cache_on", J_int c.sc_on_passes);
+             ("parse_passes_cache_off", J_int c.sc_off_passes);
+           ]
+          @
+          match c.sc_hit_rate with
+          | Some r -> [ ("compile_cache_hit_rate", J_float r) ]
+          | None -> []))
+      (collect_script_cases ~smoke)
+  in
   let sweep =
     List.map
       (fun n ->
@@ -614,7 +783,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 3);
+        ("pr", J_int 4);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -657,6 +826,7 @@ let emit_json ~path ~smoke =
               ("ablation_allocs_cache_off", J_int abl_off);
             ] );
         ("widget_sweep", J_list sweep);
+        ("scripts", J_list scripts);
         ( "counters",
           J_obj (List.map (fun (k, v) -> (k, json_of_counter v)) snapshot) );
       ]
@@ -682,6 +852,7 @@ let full_suite () =
   rescache_ablation ();
   structcache_ablation ();
   binding_ablation ();
+  scripts_ablation ();
   optiondb_ablation ();
   print_newline ()
 

@@ -171,11 +171,17 @@ let interactive app =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let no_cache = ref false in
   let rec parse script name stay faults crash_at = function
     | [] -> (script, name, stay, faults, crash_at)
     | "-f" :: path :: rest -> parse (Some path) name stay faults crash_at rest
     | "-name" :: n :: rest -> parse script (Some n) stay faults crash_at rest
     | "-stay" :: rest -> parse script name true faults crash_at rest
+    | "-no-compile-cache" :: rest ->
+      (* Ablation switch: run everything through the reference
+         character-at-a-time evaluator instead of the parse-once cache. *)
+      no_cache := true;
+      parse script name stay faults crash_at rest
     | "-faults" :: n :: rest -> (
       match int_of_string_opt n with
       | Some every when every >= 0 -> parse script name stay every crash_at rest
@@ -193,7 +199,7 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "usage: wish ?-f script? ?-name appName? ?-stay? ?-faults n? \
-         ?-crash-at n?\n";
+         ?-crash-at n? ?-no-compile-cache?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
@@ -217,6 +223,7 @@ let () =
      application has already consumed some of the budget — just as a real
      client crashes wherever in its life request N happens to fall. *)
   if crash_at > 0 then Server.set_crash_plan app.Tk.Core.conn ~at_request:crash_at;
+  if !no_cache then Tcl.Interp.set_compile_enabled app.Tk.Core.interp false;
   install_sim_commands app;
   (* Make the command line available as $argv / $argc, as wish does. *)
   Tcl.Interp.set_var app.Tk.Core.interp "argv" "";

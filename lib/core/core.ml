@@ -999,6 +999,9 @@ let metrics_snapshot app =
       ("faults_absorbed", string_of_int (Server.faults_absorbed app.server));
       ("trace_records", string_of_int (Server.trace_length app.conn));
     ]
+  @ List.map
+      (fun (k, v) -> ("tcl.compile." ^ k, v))
+      (Tcl.Interp.compile_stats app.interp)
 
 let metric app name =
   List.assoc_opt name (metrics_snapshot app)
@@ -1009,7 +1012,8 @@ let reset_metrics app =
   Server.reset_stats app.conn;
   Rescache.reset_counters app.cache;
   Metrics.reset app.metrics;
-  Dispatch.reset_counters app.disp
+  Dispatch.reset_counters app.disp;
+  Tcl.Interp.reset_compile_stats app.interp
 
 let mainloop app =
   while not app.app_destroyed do
@@ -1212,6 +1216,10 @@ let create_app ?(app_class = "Tk") ~server ~name () =
         };
     }
   in
+  (* The [time] command reads the dispatcher's pluggable clock, so under
+     a virtual clock it agrees with [after]. *)
+  Tcl.Interp.set_time_source interp
+    (Some (fun () -> Dispatch.clock_seconds app.disp));
   (* Register a unique application name on the display (paper §6). *)
   let registry = read_registry app in
   let name = unique_name (List.map fst registry) name in

@@ -93,6 +93,8 @@ let protect t f = try f () with e -> t.on_error e
 
 let now_ms t = int_of_float (t.clock () *. 1000.0)
 
+let clock_seconds t = t.clock ()
+
 let after t ~ms callback =
   let tid = t.next_id in
   t.next_id <- t.next_id + 1;

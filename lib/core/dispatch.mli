@@ -49,6 +49,12 @@ val set_on_error : t -> (exn -> unit) -> unit
 
 val now_ms : t -> int
 
+val clock_seconds : t -> float
+(** The pluggable clock's current reading, in seconds (full precision;
+    {!now_ms} rounds to milliseconds). The interpreter's [time] command
+    reads this so measurements agree with [after] under a virtual
+    clock. *)
+
 val after : t -> ms:int -> (unit -> unit) -> timer_id
 (** Schedule a one-shot timer. *)
 

@@ -61,6 +61,56 @@ let backslash_subst s i =
       (String.make 1 (Char.chr (v land 0xff)), j)
     | c -> (String.make 1 c, i + 2)
 
+(* Script-level separators: whitespace plus the command terminators. *)
+let rec skip_separators src n pos =
+  if pos < n && (is_space src.[pos] || src.[pos] = '\n' || src.[pos] = ';')
+  then skip_separators src n (pos + 1)
+  else pos
+
+(* [pos] points at '#': skip to an unescaped newline. *)
+let skip_comment src n pos =
+  let rec go i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '\\' -> go (i + 2)
+      | '\n' -> i + 1
+      | _ -> go (i + 1)
+  in
+  go pos
+
+(* Content of a braced word: taken literally except that backslash-newline
+   is still replaced by a space (as in Tcl). *)
+let braced_content src open_idx close_idx =
+  let raw = String.sub src (open_idx + 1) (close_idx - open_idx - 1) in
+  if not (String.length raw > 0 && String.contains raw '\\') then raw
+  else begin
+    let buf = Buffer.create (String.length raw) in
+    let n = String.length raw in
+    let i = ref 0 in
+    while !i < n do
+      if raw.[!i] = '\\' && !i + 1 < n && raw.[!i + 1] = '\n' then begin
+        let repl, j = backslash_subst raw !i in
+        Buffer.add_string buf repl;
+        i := j
+      end
+      else begin
+        Buffer.add_char buf raw.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+(* After a braced or quoted word, the next character must end the word.
+   ']' only terminates inside a command substitution. *)
+let word_end_ok src n pos ~bracket =
+  pos >= n
+  || is_space src.[pos]
+  || src.[pos] = '\n'
+  || src.[pos] = ';'
+  || (bracket && src.[pos] = ']')
+
 let find_matching_brace s i =
   let n = String.length s in
   let rec scan j depth =

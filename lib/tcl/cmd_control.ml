@@ -31,10 +31,15 @@ let cmd_incr t = function
   | [ _; name ] | [ _; name; _ ] as words ->
     let amount =
       match words with
-      | [ _; _; by ] -> parse_int "" by
+      | [ _; _; by ] -> parse_int " (reading increment)" by
       | _ -> 1
     in
-    let current = parse_int "" (get_var_exn t name) in
+    let current =
+      parse_int
+        (Printf.sprintf " (reading value of variable \"%s\" to increment)"
+           name)
+        (get_var_exn t name)
+    in
     let v = string_of_int (current + amount) in
     set_var t name v;
     v
@@ -232,7 +237,7 @@ let cmd_error _t = function
 
 let cmd_expr t = function
   | _ :: (_ :: _ as args) ->
-    Expr.eval_string (expr_env t) (String.concat " " args)
+    eval_expr_string t (String.concat " " args)
   | _ -> wrong_args "expr arg ?arg ...?"
 
 let cmd_source t = function
@@ -247,24 +252,30 @@ let cmd_time t = function
   | [ _; body ] | [ _; body; _ ] as words ->
     let count =
       match words with
-      | [ _; _; c ] -> parse_int "" c
+      | [ _; _; c ] -> parse_int " (reading iteration count)" c
       | _ -> 1
     in
     if count <= 0 then failf "count must be positive"
     else begin
-      let start = Sys.time () in
-      let failure = ref None in
+      (* The clock is pluggable so [time] agrees with [after] when the
+         toolkit drives a virtual clock. *)
+      let start = current_time t in
+      let abnormal = ref None in
       (try
          for _ = 1 to count do
            match eval t body with
-           | Tcl_error, msg -> raise (Tcl_failure msg)
-           | _ -> ()
+           | Tcl_ok, _ -> ()
+           | r ->
+             (* Any abnormal completion — error, break, continue or
+                return — stops the loop and propagates, as in Tcl. *)
+             abnormal := Some r;
+             raise Stdlib.Exit
          done
-       with Tcl_failure msg -> failure := Some msg);
-      match !failure with
-      | Some msg -> (Tcl_error, msg)
+       with Stdlib.Exit -> ());
+      match !abnormal with
+      | Some r -> r
       | None ->
-        let elapsed = Sys.time () -. start in
+        let elapsed = current_time t -. start in
         let micros = elapsed *. 1e6 /. float_of_int count in
         ok (Printf.sprintf "%.0f microseconds per iteration" micros)
     end
@@ -297,7 +308,8 @@ let cmd_puts t = function
 
 let cmd_exit _t = function
   | [ _ ] -> raise (Exit_program 0)
-  | [ _; code ] -> raise (Exit_program (parse_int "" code))
+  | [ _; code ] ->
+    raise (Exit_program (parse_int " (reading exit return code)" code))
   | _ -> wrong_args "exit ?returnCode?"
 
 let install t =

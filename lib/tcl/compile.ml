@@ -1,0 +1,308 @@
+(* Parse-once compilation of Tcl scripts.
+
+   The interpreter's reference evaluator (Interp.eval_in) re-scans the
+   script text character by character on every execution, interleaving
+   parsing with substitution.  This module performs the *syntactic* half
+   of that work exactly once, producing a program the interpreter can
+   execute repeatedly: a sequence of commands, each a list of word
+   templates made of static text, variable references and nested
+   command-substitution sub-programs.
+
+   Compilation is purely lexical — it never reads variables, never runs
+   commands and never depends on the command table — so a compiled
+   program is valid for the lifetime of the interpreter and can be
+   cached keyed by the script string alone.
+
+   Semantic fidelity is the contract: executing the compiled form must
+   be byte-identical to the reference evaluator, including error
+   messages, errorInfo traces, break/continue/return propagation out of
+   substitutions, and the *order* of side effects.  Two consequences
+   shape the representation:
+
+   - The reference evaluator only discovers a syntax error when
+     execution reaches it, after every earlier command (and every
+     earlier substitution in the same command) has already run.  A
+     structural error therefore does not fail compilation; it is
+     embedded as a [W_fail] word that first performs the substitutions
+     scanned before the error (for their side effects) and then raises
+     the same failure.  Compilation of the surrounding program stops at
+     that point, exactly as the reference parse aborts there.
+
+   - The errorInfo trace quotes the command's source text verbatim
+     (including a trailing semicolon, which [String.trim] preserves), so
+     each compiled command carries that exact substring. *)
+
+type part =
+  | Lit of string  (** static text, backslash sequences already applied *)
+  | Var of string  (** [$name] / [${name}]: name fixed at compile time *)
+  | Var_idx of string * part list
+      (** [$base(index)]: the index itself undergoes substitution *)
+  | Cmd of program  (** [\[script\]] command substitution, compiled *)
+
+and word =
+  | W_lit of string  (** fully static word (braced, or no substitutions) *)
+  | W_parts of part list  (** concatenation of substituted parts *)
+  | W_fail of part list * string
+      (** structural error discovered mid-word: run the parts for their
+          side effects, then fail with the parser's message *)
+
+and command = {
+  words : word list;  (** empty for a blank command (resets the result) *)
+  text : string;  (** exact source text, for the errorInfo trace *)
+}
+
+and program = command list
+
+(* Outcome of scanning one substitution-bearing sequence (the inside of a
+   quoted word, a bare word, or an array index). *)
+type seq_result =
+  | Seq_ok of part list * int  (** parts and the position just after *)
+  | Seq_fail of part list * string
+      (** structural error: the parts scanned before it still run *)
+  | Seq_abort of part list
+      (** ends with a [Cmd] whose program contains a failure; reaching it
+          at run time aborts via the nested program's own error *)
+
+type var_result =
+  | V_ok of part * int
+  | V_fail of part list * string
+  | V_abort of part list
+
+type word_result =
+  | W_done of word * int
+  | W_stop of word  (** compilation cannot continue past this word *)
+
+let mk_word = function
+  | [] -> W_lit ""
+  | [ Lit s ] -> W_lit s
+  | parts -> W_parts parts
+
+(* A part accumulator: coalesces adjacent literal text. *)
+let accum () =
+  let acc = ref [] in
+  let lit = Buffer.create 16 in
+  let flush () =
+    if Buffer.length lit > 0 then begin
+      acc := Lit (Buffer.contents lit) :: !acc;
+      Buffer.clear lit
+    end
+  in
+  let add_lit s = Buffer.add_string lit s in
+  let add_part = function
+    | Lit s -> add_lit s
+    | p ->
+      flush ();
+      acc := p :: !acc
+  in
+  let all () =
+    flush ();
+    List.rev !acc
+  in
+  (add_lit, add_part, all)
+
+(* Mirrors Interp.substitute_until: scan a bare word or the inside of a
+   quoted word, collecting parts instead of substituting. *)
+let rec compile_parts src n pos0 ~stop_quote ~bracket =
+  let add_lit, add_part, all = accum () in
+  let rec go pos =
+    if pos >= n then
+      if stop_quote then Seq_fail (all (), "missing close quote")
+      else Seq_ok (all (), pos)
+    else
+      let c = src.[pos] in
+      if stop_quote && c = '"' then Seq_ok (all (), pos + 1)
+      else if
+        (not stop_quote)
+        && (Chars.is_space c || c = '\n' || c = ';' || (bracket && c = ']'))
+      then Seq_ok (all (), pos)
+      else
+        match c with
+        | '\\' when (not stop_quote) && pos + 1 < n && src.[pos + 1] = '\n' ->
+          (* Backslash-newline terminates a bare word (word separator). *)
+          Seq_ok (all (), pos)
+        | '\\' ->
+          let repl, j = Chars.backslash_subst src pos in
+          add_lit repl;
+          go j
+        | '$' -> (
+          match compile_variable src n pos ~bracket with
+          | V_ok (p, j) ->
+            add_part p;
+            go j
+          | V_fail (ps, msg) -> Seq_fail (all () @ ps, msg)
+          | V_abort ps -> Seq_abort (all () @ ps))
+        | '[' -> (
+          let prog, j, failed = compile_block src n (pos + 1) in
+          add_part (Cmd prog);
+          if failed then Seq_abort (all ()) else go j)
+        | c ->
+          add_lit (String.make 1 c);
+          go (pos + 1)
+  in
+  go pos0
+
+(* Mirrors Interp.substitute_variable. *)
+and compile_variable src n pos ~bracket =
+  let start = pos + 1 in
+  if start < n && src.[start] = '{' then begin
+    match String.index_from_opt src start '}' with
+    | None -> V_fail ([], "missing close-brace for variable name")
+    | Some j -> V_ok (Var (String.sub src (start + 1) (j - start - 1)), j + 1)
+  end
+  else begin
+    let i = ref start in
+    while !i < n && Chars.is_var_char src.[!i] do
+      incr i
+    done;
+    if !i = start then
+      (* A lone '$' is literal. *)
+      V_ok (Lit "$", start)
+    else if !i < n && src.[!i] = '(' then begin
+      let base = String.sub src start (!i - start) in
+      match compile_index src n (!i + 1) ~bracket with
+      | Seq_ok (idx, j) -> V_ok (Var_idx (base, idx), j)
+      | Seq_fail (idx, msg) ->
+        (* The index parts already scanned still run for their side
+           effects; their values are discarded when the failure fires, so
+           they may be flattened into the word. *)
+        V_fail (idx, msg)
+      | Seq_abort idx -> V_abort idx
+    end
+    else V_ok (Var (String.sub src start (!i - start)), !i)
+  end
+
+(* Mirrors Interp.substitute_index. *)
+and compile_index src n pos0 ~bracket =
+  let add_lit, add_part, all = accum () in
+  let rec go pos =
+    if pos >= n then Seq_fail (all (), "missing )")
+    else
+      match src.[pos] with
+      | ')' -> Seq_ok (all (), pos + 1)
+      | '\\' ->
+        let repl, j = Chars.backslash_subst src pos in
+        add_lit repl;
+        go j
+      | '$' -> (
+        match compile_variable src n pos ~bracket with
+        | V_ok (p, j) ->
+          add_part p;
+          go j
+        | V_fail (ps, msg) -> Seq_fail (all () @ ps, msg)
+        | V_abort ps -> Seq_abort (all () @ ps))
+      | '[' -> (
+        let prog, j, failed = compile_block src n (pos + 1) in
+        add_part (Cmd prog);
+        if failed then Seq_abort (all ()) else go j)
+      | c ->
+        add_lit (String.make 1 c);
+        go (pos + 1)
+  in
+  go pos0
+
+(* Mirrors Interp.parse_word. *)
+and compile_word src n pos ~bracket =
+  if src.[pos] = '{' then begin
+    match Chars.find_matching_brace src pos with
+    | None -> W_stop (W_fail ([], "missing close-brace"))
+    | Some j ->
+      if Chars.word_end_ok src n (j + 1) ~bracket then
+        W_done (W_lit (Chars.braced_content src pos j), j + 1)
+      else
+        W_stop
+          (W_fail ([], "extra characters after close-brace or close-quote"))
+  end
+  else if src.[pos] = '"' then begin
+    match compile_parts src n (pos + 1) ~stop_quote:true ~bracket with
+    | Seq_ok (parts, j) ->
+      if Chars.word_end_ok src n j ~bracket then W_done (mk_word parts, j)
+      else
+        W_stop
+          (W_fail (parts, "extra characters after close-brace or close-quote"))
+    | Seq_fail (parts, msg) -> W_stop (W_fail (parts, msg))
+    | Seq_abort parts -> W_stop (W_parts parts)
+  end
+  else begin
+    match compile_parts src n pos ~stop_quote:false ~bracket with
+    | Seq_ok (parts, j) -> W_done (mk_word parts, j)
+    | Seq_fail (parts, msg) -> W_stop (W_fail (parts, msg))
+    | Seq_abort parts -> W_stop (W_parts parts)
+  end
+
+(* Mirrors Interp.parse_words: one command's words up to its terminator.
+   Returns the command, the position after it, and whether compilation of
+   the enclosing program must stop here. *)
+and compile_command src n pos0 ~bracket =
+  let rec words pos acc =
+    let p = ref pos in
+    (* Skip word separators; a backslash-newline counts as one. *)
+    let rec skip () =
+      if !p < n && Chars.is_space src.[!p] then begin
+        incr p;
+        skip ()
+      end
+      else if !p + 1 < n && src.[!p] = '\\' && src.[!p + 1] = '\n' then begin
+        let _, j = Chars.backslash_subst src !p in
+        p := j;
+        skip ()
+      end
+    in
+    skip ();
+    if
+      !p >= n
+      || src.[!p] = '\n'
+      || src.[!p] = ';'
+      || (bracket && src.[!p] = ']')
+    then
+      let next =
+        if !p < n && (src.[!p] = '\n' || src.[!p] = ';') then !p + 1 else !p
+      in
+      (List.rev acc, next, false)
+    else
+      match compile_word src n !p ~bracket with
+      | W_done (w, j) -> words j (w :: acc)
+      | W_stop w -> (List.rev (w :: acc), n, true)
+  in
+  let ws, next, failed = words pos0 [] in
+  let stop = min next n in
+  ({ words = ws; text = String.sub src pos0 (stop - pos0) }, next, failed)
+
+(* Mirrors Interp.eval_loop's scan over commands. *)
+and compile_script src n pos ~bracket acc =
+  let pos = Chars.skip_separators src n pos in
+  if pos >= n then (List.rev acc, pos, false)
+  else if bracket && src.[pos] = ']' then (List.rev acc, pos + 1, false)
+  else if src.[pos] = '#' then
+    compile_script src n (Chars.skip_comment src n pos) ~bracket acc
+  else
+    let cmd, next, failed = compile_command src n pos ~bracket in
+    if failed then (List.rev (cmd :: acc), n, true)
+    else compile_script src n next ~bracket (cmd :: acc)
+
+(* A bracketed sub-program: commands up to the unmatched ']'. *)
+and compile_block src n pos =
+  compile_script src n pos ~bracket:true []
+
+let compile src =
+  let prog, _, _ = compile_script src (String.length src) 0 ~bracket:false [] in
+  prog
+
+let rec program_commands prog =
+  List.fold_left
+    (fun acc cmd ->
+      List.fold_left
+        (fun acc w ->
+          match w with
+          | W_lit _ -> acc
+          | W_parts parts | W_fail (parts, _) -> acc + nested_commands parts)
+        (acc + 1) cmd.words)
+    0 prog
+
+and nested_commands parts =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Lit _ | Var _ -> acc
+      | Var_idx (_, idx) -> acc + nested_commands idx
+      | Cmd prog -> acc + program_commands prog)
+    0 parts

@@ -422,22 +422,23 @@ and apply_binary op a b =
   | ">=" -> bool_val (compare_values a b >= 0)
   | _ -> error "unknown operator %S" op
 
+and apply_unary op v =
+  match op with
+  | "-" -> (
+    match require_number v with
+    | Int i -> Int (-i)
+    | Float f -> Float (-.f)
+    | Str _ -> assert false)
+  | "+" -> require_number v
+  | "!" -> bool_val (not (truthy v))
+  | _ -> Int (lnot (as_int v))
+
 and parse_unary lx =
   match lx.tok with
   | Op (("-" | "+" | "!" | "~") as op) ->
     next_token lx;
     let v = parse_unary lx in
-    if skipping lx then Int 0
-    else (
-      match op with
-      | "-" -> (
-        match require_number v with
-        | Int i -> Int (-i)
-        | Float f -> Float (-.f)
-        | Str _ -> assert false)
-      | "+" -> require_number v
-      | "!" -> bool_val (not (truthy v))
-      | _ -> Int (lnot (as_int v)))
+    if skipping lx then Int 0 else apply_unary op v
   | _ -> parse_primary lx
 
 and parse_primary lx =
@@ -572,3 +573,385 @@ let eval env src =
 let eval_string env src = to_string (eval env src)
 
 let eval_bool env src = truthy (eval env src)
+
+(* ------------------------------------------------------------------ *)
+(* Parsed-AST entry point.
+
+   The evaluator above interleaves lexing with substitution, so a hot
+   condition like [{$i < $n}] is re-scanned on every loop iteration.
+   The pure tokenizer below reads the same grammar without touching the
+   environment, producing an AST that can be cached keyed by the source
+   string and evaluated repeatedly.
+
+   Fidelity contract: for any string that {!parse} accepts, [eval_ast]
+   must behave byte-identically to {!eval} — same values, same errors,
+   same substitution order, same short-circuit behaviour.  Strings that
+   {!parse} rejects are NOT necessarily invalid at run time in a
+   different sense: the interleaved evaluator may perform substitutions
+   (with side effects) before discovering the same syntax error.  The
+   caller therefore falls back to {!eval} whenever [parse] fails, which
+   reproduces the reference behaviour exactly. *)
+
+type qpart = Q_lit of string | Q_var of string | Q_cmd of string
+
+type ast =
+  | A_const of value
+  | A_var of string
+  | A_cmd of string
+  | A_quoted of qpart list
+  | A_unop of string * ast
+  | A_binop of string * ast * ast
+  | A_ternary of ast * ast * ast
+  | A_func of string * ast list
+
+type ptok =
+  | P_num of value
+  | P_str of string (* braced or backslash operand *)
+  | P_var of string
+  | P_cmd of string
+  | P_quoted of qpart list
+  | P_ident of string
+  | P_op of string
+  | P_lparen
+  | P_rparen
+  | P_comma
+  | P_end
+
+type plexer = { psrc : string; mutable ppos : int; mutable ptok : ptok }
+
+(* Mirrors [read_variable], but returns the name instead of the value.
+   Array references keep their parenthesised index verbatim: the index is
+   not substituted in expressions. *)
+let scan_variable_name lx =
+  let s = lx.psrc and n = String.length lx.psrc in
+  let start = lx.ppos + 1 in
+  let i = ref start in
+  if !i < n && s.[!i] = '{' then begin
+    let j = ref (!i + 1) in
+    while !j < n && s.[!j] <> '}' do
+      incr j
+    done;
+    if !j >= n then error "missing close-brace for variable name";
+    let name = String.sub s (!i + 1) (!j - !i - 1) in
+    lx.ppos <- !j + 1;
+    name
+  end
+  else begin
+    while !i < n && Chars.is_var_char s.[!i] do
+      incr i
+    done;
+    if !i = start then error "invalid character after $ in expression";
+    let name_end = !i in
+    if !i < n && s.[!i] = '(' then begin
+      let depth = ref 1 in
+      incr i;
+      while !i < n && !depth > 0 do
+        (match s.[!i] with
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | _ -> ());
+        incr i
+      done;
+      if !depth > 0 then error "missing close-paren in array reference";
+      let name = String.sub s start (!i - start) in
+      lx.ppos <- !i;
+      name
+    end
+    else begin
+      let name = String.sub s start (name_end - start) in
+      lx.ppos <- name_end;
+      name
+    end
+  end
+
+(* Mirrors [read_command], returning the script text. *)
+let scan_command lx =
+  let s = lx.psrc and n = String.length lx.psrc in
+  let rec scan j depth =
+    if j >= n then error "missing close-bracket in expression"
+    else
+      match s.[j] with
+      | '\\' -> scan (j + 2) depth
+      | '[' -> scan (j + 1) (depth + 1)
+      | ']' -> if depth = 0 then j else scan (j + 1) (depth - 1)
+      | _ -> scan (j + 1) depth
+  in
+  let close = scan (lx.ppos + 1) 0 in
+  let script = String.sub s (lx.ppos + 1) (close - lx.ppos - 1) in
+  lx.ppos <- close + 1;
+  script
+
+(* Mirrors [read_quoted], collecting parts instead of substituting. *)
+let scan_quoted lx =
+  let s = lx.psrc and n = String.length lx.psrc in
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      parts := Q_lit (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  lx.ppos <- lx.ppos + 1;
+  let rec go () =
+    if lx.ppos >= n then error "missing close quote in expression"
+    else
+      match s.[lx.ppos] with
+      | '"' ->
+        lx.ppos <- lx.ppos + 1;
+        flush ();
+        List.rev !parts
+      | '\\' ->
+        let repl, j = Chars.backslash_subst s lx.ppos in
+        Buffer.add_string buf repl;
+        lx.ppos <- j;
+        go ()
+      | '$' ->
+        let name = scan_variable_name lx in
+        flush ();
+        parts := Q_var name :: !parts;
+        go ()
+      | '[' ->
+        let script = scan_command lx in
+        flush ();
+        parts := Q_cmd script :: !parts;
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        lx.ppos <- lx.ppos + 1;
+        go ()
+  in
+  go ()
+
+let scan_braced lx =
+  match Chars.find_matching_brace lx.psrc lx.ppos with
+  | None -> error "missing close brace in expression"
+  | Some j ->
+    let content = String.sub lx.psrc (lx.ppos + 1) (j - lx.ppos - 1) in
+    lx.ppos <- j + 1;
+    content
+
+(* Mirrors [read_number]. *)
+let scan_number lx =
+  let s = lx.psrc and n = String.length lx.psrc in
+  let start = lx.ppos in
+  let i = ref start in
+  let is_num_char c =
+    Chars.is_digit c || c = '.' || c = 'x' || c = 'X'
+    || (c >= 'a' && c <= 'f')
+    || (c >= 'A' && c <= 'F')
+  in
+  while !i < n && is_num_char s.[!i] do
+    if (s.[!i] = 'e' || s.[!i] = 'E')
+       && !i + 1 < n
+       && (s.[!i + 1] = '+' || s.[!i + 1] = '-')
+       && not (String.length s > start + 1 && (s.[start + 1] = 'x' || s.[start + 1] = 'X'))
+    then i := !i + 2
+    else incr i
+  done;
+  let text = String.sub s start (!i - start) in
+  lx.ppos <- !i;
+  match number_of_string text with
+  | Some v -> v
+  | None -> error "malformed number %S in expression" text
+
+(* Mirrors [next_token] exactly, including its quirk of not consuming a
+   non-whitespace backslash operand (the reference then reports "extra
+   tokens at end of expression", and so must we). *)
+let rec pnext_token lx =
+  let s = lx.psrc and n = String.length lx.psrc in
+  while lx.ppos < n && (Chars.is_space s.[lx.ppos] || s.[lx.ppos] = '\n') do
+    lx.ppos <- lx.ppos + 1
+  done;
+  if lx.ppos >= n then lx.ptok <- P_end
+  else
+    let two op = lx.ppos <- lx.ppos + 2; lx.ptok <- P_op op in
+    let one op = lx.ppos <- lx.ppos + 1; lx.ptok <- P_op op in
+    let c = s.[lx.ppos] in
+    let c2 = if lx.ppos + 1 < n then Some s.[lx.ppos + 1] else None in
+    match (c, c2) with
+    | '(', _ -> lx.ppos <- lx.ppos + 1; lx.ptok <- P_lparen
+    | ')', _ -> lx.ppos <- lx.ppos + 1; lx.ptok <- P_rparen
+    | ',', _ -> lx.ppos <- lx.ppos + 1; lx.ptok <- P_comma
+    | '$', _ -> lx.ptok <- P_var (scan_variable_name lx)
+    | '[', _ -> lx.ptok <- P_cmd (scan_command lx)
+    | '"', _ -> lx.ptok <- P_quoted (scan_quoted lx)
+    | '{', _ -> lx.ptok <- P_str (scan_braced lx)
+    | '\\', _ ->
+      let repl, j = Chars.backslash_subst s lx.ppos in
+      if String.trim repl = "" then begin
+        lx.ppos <- j;
+        pnext_token lx
+      end
+      else lx.ptok <- P_str repl
+    | '0' .. '9', _ -> lx.ptok <- P_num (scan_number lx)
+    | '.', Some d when Chars.is_digit d -> lx.ptok <- P_num (scan_number lx)
+    | '<', Some '<' -> two "<<"
+    | '>', Some '>' -> two ">>"
+    | '<', Some '=' -> two "<="
+    | '>', Some '=' -> two ">="
+    | '=', Some '=' -> two "=="
+    | '!', Some '=' -> two "!="
+    | '&', Some '&' -> two "&&"
+    | '|', Some '|' -> two "||"
+    | ('+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '~' | '&' | '|' | '^' | '?' | ':'), _
+      -> one (String.make 1 c)
+    | ('a' .. 'z' | 'A' .. 'Z' | '_'), _ ->
+      let i = ref lx.ppos in
+      while !i < n && Chars.is_var_char s.[!i] do
+        incr i
+      done;
+      let name = String.sub s lx.ppos (!i - lx.ppos) in
+      lx.ppos <- !i;
+      lx.ptok <- P_ident name
+    | _ -> error "syntax error in expression near %C" c
+
+let operand_value s =
+  match number_of_string s with Some v -> v | None -> Str s
+
+let rec p_ternary lx =
+  let cond = p_binary lx 0 in
+  match lx.ptok with
+  | P_op "?" ->
+    pnext_token lx;
+    let t = p_ternary lx in
+    (match lx.ptok with
+    | P_op ":" ->
+      pnext_token lx;
+      let f = p_ternary lx in
+      A_ternary (cond, t, f)
+    | _ -> error "missing ':' in ternary expression")
+  | _ -> cond
+
+and p_binary lx min_level =
+  let lhs = ref (p_unary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    match lx.ptok with
+    | P_op op -> (
+      match binary_level op with
+      | Some level when level >= min_level ->
+        pnext_token lx;
+        let rhs = p_binary lx (level + 1) in
+        lhs := A_binop (op, !lhs, rhs)
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and p_unary lx =
+  match lx.ptok with
+  | P_op (("-" | "+" | "!" | "~") as op) ->
+    pnext_token lx;
+    A_unop (op, p_unary lx)
+  | _ -> p_primary lx
+
+and p_primary lx =
+  match lx.ptok with
+  | P_num v ->
+    pnext_token lx;
+    A_const v
+  | P_str s ->
+    pnext_token lx;
+    A_const (operand_value s)
+  | P_var name ->
+    pnext_token lx;
+    A_var name
+  | P_cmd script ->
+    pnext_token lx;
+    A_cmd script
+  | P_quoted parts ->
+    pnext_token lx;
+    (match parts with
+    | [] -> A_const (operand_value "")
+    | [ Q_lit s ] -> A_const (operand_value s)
+    | _ -> A_quoted parts)
+  | P_lparen ->
+    pnext_token lx;
+    let v = p_ternary lx in
+    (match lx.ptok with
+    | P_rparen ->
+      pnext_token lx;
+      v
+    | _ -> error "missing close paren in expression")
+  | P_ident name ->
+    pnext_token lx;
+    (match lx.ptok with
+    | P_lparen ->
+      pnext_token lx;
+      A_func (name, p_args lx [])
+    | _ -> (
+      match String.lowercase_ascii name with
+      | "true" | "yes" | "on" -> A_const (Int 1)
+      | "false" | "no" | "off" -> A_const (Int 0)
+      | _ -> error "unknown operand %S in expression" name))
+  | P_op op -> error "unexpected operator %S in expression" op
+  | P_comma -> error "unexpected ',' in expression"
+  | P_rparen -> error "unexpected ')' in expression"
+  | P_end -> error "premature end of expression"
+
+and p_args lx acc =
+  match lx.ptok with
+  | P_rparen ->
+    pnext_token lx;
+    List.rev acc
+  | _ ->
+    let v = p_ternary lx in
+    (match lx.ptok with
+    | P_comma ->
+      pnext_token lx;
+      p_args lx (v :: acc)
+    | P_rparen ->
+      pnext_token lx;
+      List.rev (v :: acc)
+    | _ -> error "missing ')' in math function call")
+
+let parse src =
+  match
+    let lx = { psrc = src; ppos = 0; ptok = P_end } in
+    pnext_token lx;
+    let a = p_ternary lx in
+    match lx.ptok with
+    | P_end -> a
+    | _ -> error "extra tokens at end of expression %S" src
+  with
+  | a -> Stdlib.Ok a
+  | exception Error msg -> Stdlib.Error msg
+
+(* Evaluation order matches the interleaved evaluator: left to right in
+   lexical order, with &&, || and ?: short-circuiting (the dead branch's
+   substitutions never run, just as the reference suppresses them in skip
+   mode). *)
+let rec eval_ast env a =
+  match a with
+  | A_const v -> v
+  | A_var name -> operand_value (env.get_var name)
+  | A_cmd script -> operand_value (env.eval_cmd script)
+  | A_quoted parts ->
+    let buf = Buffer.create 16 in
+    List.iter
+      (function
+        | Q_lit s -> Buffer.add_string buf s
+        | Q_var name -> Buffer.add_string buf (env.get_var name)
+        | Q_cmd script -> Buffer.add_string buf (env.eval_cmd script))
+      parts;
+    operand_value (Buffer.contents buf)
+  | A_unop (op, x) -> apply_unary op (eval_ast env x)
+  | A_binop ("&&", x, y) ->
+    if truthy (eval_ast env x) then bool_val (truthy (eval_ast env y))
+    else bool_val false
+  | A_binop ("||", x, y) ->
+    if truthy (eval_ast env x) then bool_val true
+    else bool_val (truthy (eval_ast env y))
+  | A_binop (op, x, y) ->
+    let a = eval_ast env x in
+    let b = eval_ast env y in
+    apply_binary op a b
+  | A_ternary (c, t, f) ->
+    if truthy (eval_ast env c) then eval_ast env t else eval_ast env f
+  | A_func (name, args) ->
+    (* Arguments substitute in lexical order, like the reference. *)
+    let vals =
+      List.rev (List.fold_left (fun acc x -> eval_ast env x :: acc) [] args)
+    in
+    apply_function name vals

@@ -34,6 +34,31 @@ val eval_bool : env -> string -> bool
 
 val to_string : value -> string
 
+val truthy : value -> bool
+(** Interpret a value as a condition (numbers against zero, the words
+    true/false/yes/no/on/off). @raise Error otherwise. *)
+
 val number_of_string : string -> value option
 (** Parse a string as [Int] or [Float] if possible ([None] otherwise).
     Exposed for the [lsort -integer] style commands. *)
+
+(** {2 Parsed-AST entry point}
+
+    {!parse} tokenizes an expression once, without performing any
+    substitution, so the result can be cached keyed by the source string
+    and re-evaluated cheaply with {!eval_ast}. For any string [parse]
+    accepts, [eval_ast] behaves byte-identically to {!eval}: same
+    values, same errors, same substitution order and short-circuiting.
+    When [parse] fails, fall back to {!eval} — the interleaved reference
+    evaluator may run substitutions (with side effects) before reporting
+    the same syntax error, and only it reproduces that faithfully. *)
+
+type ast
+
+val parse : string -> (ast, string) result
+(** Parse without evaluating. [Error msg] carries the syntax error the
+    reference evaluator would (eventually) raise. *)
+
+val eval_ast : env -> ast -> value
+(** Evaluate a parsed expression. @raise Error on runtime type or
+    substitution errors, exactly as {!eval} would. *)

@@ -31,6 +31,35 @@ type slot =
 
 and frame = { vars : (string, slot) Hashtbl.t }
 
+(* Counters for the parse-once machinery, exported as tcl.compile.* by
+   the toolkit's metrics registry. [parse_passes] counts every full scan
+   of script text — one per compilation, one per legacy evaluation — so
+   the cache's effect is directly visible as a drop in passes. *)
+type compile_stats = {
+  mutable script_hits : int;
+  mutable script_misses : int;
+  mutable script_evictions : int;
+  mutable script_compiles : int;
+  mutable expr_hits : int;
+  mutable expr_misses : int;
+  mutable expr_evictions : int;
+  mutable expr_compiles : int;
+  mutable parse_passes : int;
+}
+
+let fresh_stats () =
+  {
+    script_hits = 0;
+    script_misses = 0;
+    script_evictions = 0;
+    script_compiles = 0;
+    expr_hits = 0;
+    expr_misses = 0;
+    expr_evictions = 0;
+    expr_compiles = 0;
+    parse_passes = 0;
+  }
+
 type t = {
   commands : (string, cmd_def) Hashtbl.t;
   global_frame : frame;
@@ -43,13 +72,40 @@ type t = {
   mutable history_recording : bool;
   mutable history : (int * string) list; (* newest first *)
   mutable history_next : int;
+  mutable compile_enabled : bool;
+      (* parse-once mode: scripts and exprs run from cached compiled
+         forms; off = the reference character-at-a-time evaluator *)
+  script_cache : (string, script_entry) Hashtbl.t;
+  expr_cache : (string, expr_entry) Hashtbl.t;
+  mutable cache_tick : int; (* LRU clock for both caches *)
+  stats : compile_stats;
+  mutable time_source : (unit -> float) option;
+      (* pluggable clock for [time] (seconds); None = Sys.time *)
 }
 
 and command = t -> string list -> result
 
 and cmd_def =
   | Builtin of command
-  | Proc of { formals : (string * string option) list; body : string }
+  | Proc of proc_def
+
+and proc_def = {
+  formals : (string * string option) list;
+  body : string;
+  mutable pcode : Compile.program option;
+      (* compiled at definition time (or lazily on first call); always
+         derived from [body], so redefinition replaces it atomically *)
+}
+
+and script_entry = { code : Compile.program; mutable s_tick : int }
+
+and expr_entry = {
+  east : Expr.ast option;
+      (* None: the pure parser rejected it — always fall back to the
+         interleaved evaluator, which reproduces mid-substitution
+         side effects before the syntax error *)
+  mutable e_tick : int;
+}
 
 let max_nesting = 1000
 
@@ -67,6 +123,12 @@ let create () =
     history_recording = false;
     history = [];
     history_next = 1;
+    compile_enabled = true;
+    script_cache = Hashtbl.create 64;
+    expr_cache = Hashtbl.create 64;
+    cache_tick = 0;
+    stats = fresh_stats ();
+    time_source = None;
   }
 
 let current_frame t =
@@ -242,12 +304,22 @@ let register t name cmd = Hashtbl.replace t.commands name (Builtin cmd)
 let register_value t name f =
   register t name (fun t words -> ok (f t words))
 
+(* Compile a script, counting the pass. *)
+let compile_counted t src =
+  t.stats.script_compiles <- t.stats.script_compiles + 1;
+  t.stats.parse_passes <- t.stats.parse_passes + 1;
+  Compile.compile src
+
 let define_proc t name formals body =
-  Hashtbl.replace t.commands name (Proc { formals; body })
+  let p = { formals; body; pcode = None } in
+  (* Parse the body once at definition time; a redefinition installs a
+     fresh record, so stale code cannot survive. *)
+  if t.compile_enabled then p.pcode <- Some (compile_counted t body);
+  Hashtbl.replace t.commands name (Proc p)
 
 let proc_info t name =
   match Hashtbl.find_opt t.commands name with
-  | Some (Proc { formals; body }) -> Some (formals, body)
+  | Some (Proc p) -> Some (p.formals, p.body)
   | _ -> None
 
 let delete_command t name =
@@ -328,26 +400,117 @@ let output t s = t.out s
 let command_count t = t.cmd_count
 
 (* ------------------------------------------------------------------ *)
+(* Compiled-script and expression caches.
+
+   Both caches are keyed by the source string alone: compilation is
+   purely syntactic (see Compile), so entries never go stale and
+   invalidation reduces to LRU eviction. Recency is a shared tick; when
+   a cache is full the entry with the smallest tick is scanned out
+   (O(n), but only on eviction at the bounded size). *)
+
+let cache_limit = 512
+
+let bump_tick t =
+  t.cache_tick <- t.cache_tick + 1;
+  t.cache_tick
+
+let evict_oldest (type a) (tbl : (string, a) Hashtbl.t) (tick_of : a -> int) =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, best) when best <= tick_of e -> ()
+      | _ -> victim := Some (k, tick_of e))
+    tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove tbl k;
+    true
+  | None -> false
+
+let compiled_program t src =
+  match Hashtbl.find_opt t.script_cache src with
+  | Some e ->
+    t.stats.script_hits <- t.stats.script_hits + 1;
+    e.s_tick <- bump_tick t;
+    e.code
+  | None ->
+    t.stats.script_misses <- t.stats.script_misses + 1;
+    (if Hashtbl.length t.script_cache >= cache_limit then
+       if evict_oldest t.script_cache (fun e -> e.s_tick) then
+         t.stats.script_evictions <- t.stats.script_evictions + 1);
+    let code = compile_counted t src in
+    Hashtbl.add t.script_cache src { code; s_tick = bump_tick t };
+    code
+
+let cached_expr_ast t src =
+  match Hashtbl.find_opt t.expr_cache src with
+  | Some e ->
+    t.stats.expr_hits <- t.stats.expr_hits + 1;
+    e.e_tick <- bump_tick t;
+    e.east
+  | None ->
+    t.stats.expr_misses <- t.stats.expr_misses + 1;
+    (if Hashtbl.length t.expr_cache >= cache_limit then
+       if evict_oldest t.expr_cache (fun e -> e.e_tick) then
+         t.stats.expr_evictions <- t.stats.expr_evictions + 1);
+    t.stats.expr_compiles <- t.stats.expr_compiles + 1;
+    let east =
+      match Expr.parse src with Ok a -> Some a | Error _ -> None
+    in
+    Hashtbl.add t.expr_cache src { east; e_tick = bump_tick t };
+    east
+
+let set_compile_enabled t flag = t.compile_enabled <- flag
+
+let compile_enabled t = t.compile_enabled
+
+let clear_compile_caches t =
+  Hashtbl.reset t.script_cache;
+  Hashtbl.reset t.expr_cache
+
+let reset_compile_stats t =
+  let s = t.stats in
+  s.script_hits <- 0;
+  s.script_misses <- 0;
+  s.script_evictions <- 0;
+  s.script_compiles <- 0;
+  s.expr_hits <- 0;
+  s.expr_misses <- 0;
+  s.expr_evictions <- 0;
+  s.expr_compiles <- 0;
+  s.parse_passes <- 0
+
+let compile_stats t =
+  let s = t.stats in
+  [
+    ("enabled", if t.compile_enabled then "1" else "0");
+    ("script_cache_size", string_of_int (Hashtbl.length t.script_cache));
+    ("script_hits", string_of_int s.script_hits);
+    ("script_misses", string_of_int s.script_misses);
+    ("script_evictions", string_of_int s.script_evictions);
+    ("script_compiles", string_of_int s.script_compiles);
+    ("expr_cache_size", string_of_int (Hashtbl.length t.expr_cache));
+    ("expr_hits", string_of_int s.expr_hits);
+    ("expr_misses", string_of_int s.expr_misses);
+    ("expr_evictions", string_of_int s.expr_evictions);
+    ("expr_compiles", string_of_int s.expr_compiles);
+    ("parse_passes", string_of_int s.parse_passes);
+  ]
+
+let set_time_source t f = t.time_source <- f
+
+let current_time t =
+  match t.time_source with Some f -> f () | None -> Sys.time ()
+
+(* ------------------------------------------------------------------ *)
 (* Parser / evaluator *)
 
 let is_sep c = Chars.is_space c
 
-let rec skip_separators src n pos =
-  if pos < n && (is_sep src.[pos] || src.[pos] = '\n' || src.[pos] = ';')
-  then skip_separators src n (pos + 1)
-  else pos
+let skip_separators = Chars.skip_separators
 
-let skip_comment src n pos =
-  (* [pos] points at '#': skip to an unescaped newline. *)
-  let rec go i =
-    if i >= n then i
-    else
-      match src.[i] with
-      | '\\' -> go (i + 2)
-      | '\n' -> i + 1
-      | _ -> go (i + 1)
-  in
-  go pos
+let skip_comment = Chars.skip_comment
 
 (* Evaluate [src] starting at [pos]. In [bracket] mode, evaluation stops at
    the first unmatched ']' (command substitution); the returned position is
@@ -434,73 +597,47 @@ and parse_words t src n pos ~bracket acc =
     (List.rev acc, next)
   end
   else
-    let word, next = parse_word t src n !pos in
+    let word, next = parse_word t src n !pos ~bracket in
     parse_words t src n next ~bracket (word :: acc)
 
-and parse_word t src n pos =
+and parse_word t src n pos ~bracket =
   if src.[pos] = '{' then begin
     match Chars.find_matching_brace src pos with
     | None -> raise (Tcl_failure "missing close-brace")
     | Some j ->
-      check_word_end src n (j + 1);
-      (braced_content src pos j, j + 1)
+      check_word_end src n (j + 1) ~bracket;
+      (Chars.braced_content src pos j, j + 1)
   end
   else if src.[pos] = '"' then begin
     let buf = Buffer.create 16 in
-    let next = substitute_until t src n (pos + 1) ~stop_quote:true buf in
-    check_word_end src n next;
+    let next = substitute_until t src n (pos + 1) ~stop_quote:true ~bracket buf in
+    check_word_end src n next ~bracket;
     (Buffer.contents buf, next)
   end
   else begin
     let buf = Buffer.create 16 in
-    let next = substitute_until t src n pos ~stop_quote:false buf in
+    let next = substitute_until t src n pos ~stop_quote:false ~bracket buf in
     (Buffer.contents buf, next)
   end
 
-(* Content of a braced word: taken literally except that backslash-newline
-   is still replaced by a space (as in Tcl). *)
-and braced_content src open_idx close_idx =
-  let raw = String.sub src (open_idx + 1) (close_idx - open_idx - 1) in
-  if not (String.length raw > 0 && String.contains raw '\\') then raw
-  else begin
-    let buf = Buffer.create (String.length raw) in
-    let n = String.length raw in
-    let i = ref 0 in
-    while !i < n do
-      if raw.[!i] = '\\' && !i + 1 < n && raw.[!i + 1] = '\n' then begin
-        let repl, j = Chars.backslash_subst raw !i in
-        Buffer.add_string buf repl;
-        i := j
-      end
-      else begin
-        Buffer.add_char buf raw.[!i];
-        incr i
-      end
-    done;
-    Buffer.contents buf
-  end
-
-and check_word_end src n pos =
-  if
-    pos < n
-    && (not (is_sep src.[pos]))
-    && src.[pos] <> '\n'
-    && src.[pos] <> ';'
-    && src.[pos] <> ']'
-  then
+and check_word_end src n pos ~bracket =
+  if not (Chars.word_end_ok src n pos ~bracket) then
     raise
       (Tcl_failure "extra characters after close-brace or close-quote")
 
 (* Scan a word (or the inside of a quoted word), appending substituted text
-   to [buf]. Returns the position just after the word. *)
-and substitute_until t src n pos ~stop_quote buf =
+   to [buf]. Returns the position just after the word. [']'] only ends a
+   bare word inside a command substitution; elsewhere it is an ordinary
+   character, as in Tcl. *)
+and substitute_until t src n pos ~stop_quote ~bracket buf =
   if pos >= n then
     if stop_quote then raise (Tcl_failure "missing close quote") else pos
   else
     let c = src.[pos] in
     if stop_quote && c = '"' then pos + 1
     else if
-      (not stop_quote) && (is_sep c || c = '\n' || c = ';' || c = ']')
+      (not stop_quote)
+      && (is_sep c || c = '\n' || c = ';' || (bracket && c = ']'))
     then pos
     else
       match c with
@@ -511,23 +648,23 @@ and substitute_until t src n pos ~stop_quote buf =
       | '\\' ->
         let repl, j = Chars.backslash_subst src pos in
         Buffer.add_string buf repl;
-        substitute_until t src n j ~stop_quote buf
+        substitute_until t src n j ~stop_quote ~bracket buf
       | '$' ->
-        let j = substitute_variable t src n pos buf in
-        substitute_until t src n j ~stop_quote buf
+        let j = substitute_variable t src n pos ~bracket buf in
+        substitute_until t src n j ~stop_quote ~bracket buf
       | '[' -> (
         match eval_in t src (pos + 1) ~bracket:true with
         | Tcl_ok, v, j ->
           Buffer.add_string buf v;
-          substitute_until t src n j ~stop_quote buf
+          substitute_until t src n j ~stop_quote ~bracket buf
         | status, v, _ -> raise (Propagate (status, v)))
       | c ->
         Buffer.add_char buf c;
-        substitute_until t src n (pos + 1) ~stop_quote buf
+        substitute_until t src n (pos + 1) ~stop_quote ~bracket buf
 
 (* Substitute a $-variable reference starting at the '$'. Returns the
    position after the reference. *)
-and substitute_variable t src n pos buf =
+and substitute_variable t src n pos ~bracket buf =
   let start = pos + 1 in
   if start < n && src.[start] = '{' then begin
     match String.index_from_opt src start '}' with
@@ -551,7 +688,7 @@ and substitute_variable t src n pos buf =
       (* Array element: the index undergoes substitution itself. *)
       let base = String.sub src start (!i - start) in
       let idx_buf = Buffer.create 8 in
-      let j = substitute_index t src n (!i + 1) idx_buf in
+      let j = substitute_index t src n (!i + 1) ~bracket idx_buf in
       let name = base ^ "(" ^ Buffer.contents idx_buf ^ ")" in
       Buffer.add_string buf (get_var_exn t name);
       j
@@ -563,7 +700,7 @@ and substitute_variable t src n pos buf =
     end
   end
 
-and substitute_index t src n pos buf =
+and substitute_index t src n pos ~bracket buf =
   if pos >= n then raise (Tcl_failure "missing )")
   else
     match src.[pos] with
@@ -571,19 +708,19 @@ and substitute_index t src n pos buf =
     | '\\' ->
       let repl, j = Chars.backslash_subst src pos in
       Buffer.add_string buf repl;
-      substitute_index t src n j buf
+      substitute_index t src n j ~bracket buf
     | '$' ->
-      let j = substitute_variable t src n pos buf in
-      substitute_index t src n j buf
+      let j = substitute_variable t src n pos ~bracket buf in
+      substitute_index t src n j ~bracket buf
     | '[' -> (
       match eval_in t src (pos + 1) ~bracket:true with
       | Tcl_ok, v, j ->
         Buffer.add_string buf v;
-        substitute_index t src n j buf
+        substitute_index t src n j ~bracket buf
       | status, v, _ -> raise (Propagate (status, v)))
     | c ->
       Buffer.add_char buf c;
-      substitute_index t src n (pos + 1) buf
+      substitute_index t src n (pos + 1) ~bracket buf
 
 (* Invoke one fully substituted command. *)
 and invoke t words =
@@ -600,7 +737,7 @@ and invoke t words =
         match translate_exn e with
         | Some msg -> (Tcl_error, msg)
         | None -> raise e))
-    | Some (Proc { formals; body }) -> call_proc t name formals body words
+    | Some (Proc p) -> call_proc t name p words
     | None -> (
       match Hashtbl.find_opt t.commands "unknown" with
       | Some (Builtin cmd) -> (
@@ -611,11 +748,10 @@ and invoke t words =
           match translate_exn e with
           | Some msg -> (Tcl_error, msg)
           | None -> raise e))
-      | Some (Proc { formals; body }) ->
-        call_proc t "unknown" formals body ("unknown" :: words)
+      | Some (Proc p) -> call_proc t "unknown" p ("unknown" :: words)
       | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name)))
 
-and call_proc t name formals body words =
+and call_proc t name p words =
   let frame = new_frame () in
   let actuals = List.tl words in
   (* Bind formals to actuals, handling defaults and the trailing "args". *)
@@ -638,14 +774,14 @@ and call_proc t name formals body words =
         (Printf.sprintf "no value given for parameter \"%s\" to \"%s\""
            formal name)
   in
-  match bind formals actuals with
+  match bind p.formals actuals with
   | Some msg -> (Tcl_error, msg)
   | None ->
     t.stack <- frame :: t.stack;
-    let status, v, _ =
+    let status, v =
       Fun.protect
         ~finally:(fun () -> t.stack <- List.tl t.stack)
-        (fun () -> eval_in t body 0 ~bracket:false)
+        (fun () -> run_proc_body t p)
     in
     (match status with
     | Tcl_return | Tcl_ok -> (Tcl_ok, v)
@@ -654,9 +790,124 @@ and call_proc t name formals body words =
     | Tcl_error ->
       (Tcl_error, Printf.sprintf "%s\n    (procedure \"%s\")" v name))
 
+and run_proc_body t p =
+  if t.compile_enabled then begin
+    let code =
+      match p.pcode with
+      | Some code -> code
+      | None ->
+        (* Defined while the cache was off, called with it on. *)
+        let code = compile_counted t p.body in
+        p.pcode <- Some code;
+        code
+    in
+    exec_program t code
+  end
+  else begin
+    t.stats.parse_passes <- t.stats.parse_passes + 1;
+    let status, v, _ = eval_in t p.body 0 ~bracket:false in
+    (status, v)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution of compiled programs.
+
+   Mirrors eval_in / eval_loop / parse_and_run over the pre-parsed form;
+   every status, error message, errorInfo line and side-effect order
+   must match the reference evaluator above. *)
+
+and exec_program t prog =
+  if t.depth = 0 then t.error_in_progress <- false;
+  if t.depth > max_nesting then
+    (Tcl_error, "too many nested calls to eval (infinite loop?)")
+  else begin
+    t.depth <- t.depth + 1;
+    let finally () = t.depth <- t.depth - 1 in
+    match exec_commands t prog (Tcl_ok, "") with
+    | res ->
+      finally ();
+      res
+    | exception e ->
+      finally ();
+      raise e
+  end
+
+and exec_commands t prog last =
+  match prog with
+  | [] -> last
+  | cmd :: rest -> (
+    match exec_command t cmd with
+    | (Tcl_ok, _) as res -> exec_commands t rest res
+    | res -> res)
+
+and exec_command t (cmd : Compile.command) =
+  match subst_words t cmd.words [] with
+  | exception Propagate (status, v) -> (status, v)
+  | exception Tcl_failure msg ->
+    (* A substitution or structural error: errorInfo starts with the bare
+       message; the enclosing command adds its own trace line. *)
+    if not t.error_in_progress then begin
+      t.error_in_progress <- true;
+      set_error_info t msg
+    end;
+    (Tcl_error, msg)
+  | [] -> (Tcl_ok, "") (* blank command resets the running result *)
+  | words ->
+    let (status, v) as res = invoke t words in
+    if status = Tcl_error then trace_error t ~command:cmd.text v;
+    res
+
+and subst_words t words acc =
+  match words with
+  | [] -> List.rev acc
+  | w :: rest ->
+    let s = subst_word t w in
+    subst_words t rest (s :: acc)
+
+and subst_word t (w : Compile.word) =
+  match w with
+  | Compile.W_lit s -> s
+  | Compile.W_parts [ Compile.Var name ] -> get_var_exn t name
+  | Compile.W_parts [ Compile.Cmd prog ] -> exec_nested t prog
+  | Compile.W_parts parts ->
+    let buf = Buffer.create 16 in
+    subst_parts t parts buf;
+    Buffer.contents buf
+  | Compile.W_fail (parts, msg) ->
+    (* Replay the substitutions scanned before the syntax error (they may
+       have side effects or abort first), then report it. *)
+    let buf = Buffer.create 16 in
+    subst_parts t parts buf;
+    raise (Tcl_failure msg)
+
+and subst_parts t parts buf =
+  List.iter
+    (fun (p : Compile.part) ->
+      match p with
+      | Compile.Lit s -> Buffer.add_string buf s
+      | Compile.Var name -> Buffer.add_string buf (get_var_exn t name)
+      | Compile.Var_idx (base, idx) ->
+        let ibuf = Buffer.create 8 in
+        subst_parts t idx ibuf;
+        let name = base ^ "(" ^ Buffer.contents ibuf ^ ")" in
+        Buffer.add_string buf (get_var_exn t name)
+      | Compile.Cmd prog -> Buffer.add_string buf (exec_nested t prog))
+    parts
+
+(* A [script] command substitution: ok yields its value, anything else
+   aborts the enclosing command with that status. *)
+and exec_nested t prog =
+  match exec_program t prog with
+  | Tcl_ok, v -> v
+  | status, v -> raise (Propagate (status, v))
+
 let eval t src =
-  let status, v, _ = eval_in t src 0 ~bracket:false in
-  (status, v)
+  if t.compile_enabled then exec_program t (compiled_program t src)
+  else begin
+    t.stats.parse_passes <- t.stats.parse_passes + 1;
+    let status, v, _ = eval_in t src 0 ~bracket:false in
+    (status, v)
+  end
 
 let eval_value t src =
   match eval t src with
@@ -686,7 +937,21 @@ let expr_env t =
         | _, msg -> raise (Expr.Error msg));
   }
 
+(* Evaluate an expression through the AST cache when compilation is on.
+   Unparseable strings (None entries) always take the interleaved
+   evaluator, which reproduces partial-substitution side effects before
+   the syntax error. *)
+let eval_expr t src =
+  let env = expr_env t in
+  if t.compile_enabled then
+    match cached_expr_ast t src with
+    | Some ast -> Expr.eval_ast env ast
+    | None -> Expr.eval env src
+  else Expr.eval env src
+
+let eval_expr_string t src = Expr.to_string (eval_expr t src)
+
 let eval_expr_bool t cond =
-  match Expr.eval_bool (expr_env t) cond with
+  match Expr.truthy (eval_expr t cond) with
   | b -> b
   | exception Expr.Error msg -> raise (Tcl_failure msg)

@@ -67,8 +67,51 @@ val eval_words : t -> string list -> result
 val expr_env : t -> Expr.env
 (** The variable/command hooks that connect {!Expr} to this interpreter. *)
 
+val eval_expr : t -> string -> Expr.value
+(** Evaluate an expression, through the parsed-AST cache when compilation
+    is enabled. @raise Expr.Error on expression errors. *)
+
+val eval_expr_string : t -> string -> string
+(** {!eval_expr} rendered back to Tcl's string form (for [expr]). *)
+
 val eval_expr_bool : t -> string -> bool
 (** Evaluate a condition string. @raise Tcl_failure on expression errors. *)
+
+(** {1 Parse-once compilation}
+
+    Scripts and expressions are tokenized once (see {!Compile}) and the
+    result cached keyed by the source string; re-evaluating a hot loop
+    body, binding script or proc body then skips the scanner entirely.
+    Semantics are byte-identical to the reference evaluator — the caches
+    only trade memory for parse passes. Entries never go stale (the
+    compiled form is purely syntactic), so invalidation is plain LRU
+    eviction at a bounded size. *)
+
+val set_compile_enabled : t -> bool -> unit
+(** Toggle the parse-once machinery (default on). Turning it off routes
+    every evaluation through the reference character-at-a-time
+    evaluator — used by the benchmark ablation and differential tests. *)
+
+val compile_enabled : t -> bool
+
+val clear_compile_caches : t -> unit
+(** Drop all cached scripts and expressions (counters are kept). *)
+
+val reset_compile_stats : t -> unit
+
+val compile_stats : t -> (string * string) list
+(** Counters for the metrics registry ([tcl.compile.*]): cache hits,
+    misses, evictions, compiles for scripts and expressions, current
+    cache sizes, and the total number of parse passes over script
+    text. *)
+
+val set_time_source : t -> (unit -> float) option -> unit
+(** Pluggable clock (in seconds) for the [time] command; [None] restores
+    [Sys.time]. The toolkit points this at the event dispatcher's clock
+    so [time] agrees with [after] under a virtual clock. *)
+
+val current_time : t -> float
+(** The current reading of the {!set_time_source} clock. *)
 
 (** {1 Variables} *)
 
