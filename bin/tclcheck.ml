@@ -1,0 +1,89 @@
+(* tclcheck: a static analyzer for Tcl/Tk scripts.
+
+     tclcheck ?-Werror? ?-q? file-or-directory ...
+
+   Each argument is a .tcl file (or a directory, checked recursively for
+   *.tcl files). Diagnostics print as "file:line:col: severity: message".
+   Exit status: 0 when every file is clean, 1 when any diagnostic was
+   reported (with -Werror, warnings count; without it, only errors), 2
+   for usage or I/O problems.
+
+   The analyzer never executes the scripts: it builds a full Tk
+   application (widgets, Tk intrinsics, wish's simulation commands) only
+   to populate the command-signature registry the lint passes read. *)
+
+let usage () =
+  prerr_endline "usage: tclcheck ?-Werror? ?-q? file-or-dir ?file-or-dir ...?";
+  exit 2
+
+let rec gather path =
+  match Sys.is_directory path with
+  | exception Sys_error msg ->
+    Printf.eprintf "tclcheck: %s\n" msg;
+    exit 2
+  | false -> [ path ]
+  | true -> (
+    match Sys.readdir path with
+    | exception Sys_error msg ->
+      Printf.eprintf "tclcheck: %s\n" msg;
+      exit 2
+    | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let full = Filename.concat path entry in
+          if Sys.is_directory full then acc @ gather full
+          else if Filename.check_suffix entry ".tcl" then acc @ [ full ]
+          else acc)
+        [] entries)
+
+let () =
+  let werror = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "-Werror" -> werror := true
+      | "-q" -> quiet := true
+      | "-help" | "--help" -> usage ()
+      | _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "tclcheck: unknown flag %s\n" arg;
+        usage ()
+      | path -> paths := !paths @ [ path ])
+    (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let files = List.concat_map gather !paths in
+  if files = [] then begin
+    Printf.eprintf "tclcheck: no .tcl files found\n";
+    exit 2
+  end;
+  (* A throwaway application purely for its signature registry. *)
+  let server = Xsim.Server.create () in
+  let app =
+    Tk_widgets.Tk_widgets_lib.new_app ~app_class:"Tclcheck" ~server
+      ~name:"tclcheck" ()
+  in
+  Sim_commands.install app;
+  let errors = ref 0 and warnings = ref 0 in
+  List.iter
+    (fun file ->
+      match In_channel.with_open_text file In_channel.input_all with
+      | exception Sys_error msg ->
+        Printf.eprintf "tclcheck: %s\n" msg;
+        exit 2
+      | src ->
+        let diags = Tcl.Lint.analyze app.Tk.Core.interp src in
+        List.iter
+          (fun d ->
+            (match d.Tcl.Lint.severity with
+            | Tcl.Lint.Error -> incr errors
+            | Tcl.Lint.Warning -> incr warnings);
+            if not !quiet then
+              print_endline (Tcl.Lint.format_diag ~file d))
+          diags)
+    files;
+  if !errors + !warnings > 0 && not !quiet then
+    Printf.eprintf "tclcheck: %d error(s), %d warning(s) in %d file(s)\n"
+      !errors !warnings (List.length files);
+  if !errors > 0 || (!werror && !warnings > 0) then exit 1

@@ -37,115 +37,30 @@
 
 open Xsim
 
-let install_sim_commands app =
-  let interp = app.Tk.Core.interp in
-  Tcl.Interp.register_value interp "screendump" (fun _ words ->
-      match words with
-      | [ _ ] -> Raster.render app.Tk.Core.server ()
-      | [ _; path ] ->
-        let w = Tk.Core.lookup_exn app path in
-        Raster.render app.Tk.Core.server ~window:w.Tk.Core.win ()
-      | _ -> Tcl.Interp.wrong_args "screendump ?window?");
-  Tcl.Interp.register_value interp "inject" (fun _ words ->
-      let server = app.Tk.Core.server in
-      let int_arg s =
-        match int_of_string_opt s with
-        | Some i -> i
-        | None -> Tcl.Interp.failf "expected integer but got \"%s\"" s
-      in
-      (match words with
-      | [ _; "motion"; x; y ] ->
-        Server.inject_motion server ~x:(int_arg x) ~y:(int_arg y)
-      | [ _; "button"; n ] ->
-        Server.inject_button server ~button:(int_arg n) ~pressed:true;
-        Server.inject_button server ~button:(int_arg n) ~pressed:false
-      | [ _; "press"; n ] ->
-        Server.inject_button server ~button:(int_arg n) ~pressed:true
-      | [ _; "release"; n ] ->
-        Server.inject_button server ~button:(int_arg n) ~pressed:false
-      | [ _; "key"; keysym ] ->
-        Server.inject_key server ~keysym ~pressed:true;
-        Server.inject_key server ~keysym ~pressed:false
-      | [ _; "string"; text ] -> Server.inject_string server text
-      | _ ->
-        Tcl.Interp.wrong_args
-          "inject motion x y | button n | key keysym | string text");
-      Tk.Core.update app;
-      "");
-  Tcl.Interp.register_value interp "serverstats" (fun _ _ ->
-      let s = Server.stats app.Tk.Core.conn in
-      Printf.sprintf
-        "requests %d round-trips %d resources %d windows %d draws %d \
-         properties %d"
-        s.Server.total_requests s.Server.round_trips s.Server.resource_allocs
-        s.Server.window_requests s.Server.draw_requests
-        s.Server.property_requests);
-  Tcl.Interp.register_value interp "faultstats" (fun _ _ ->
-      let server = app.Tk.Core.server in
-      Printf.sprintf "injected %d absorbed %d fallbacks %d"
-        (Server.faults_injected server)
-        (Server.faults_absorbed server)
-        (Tk.Rescache.fallbacks app.Tk.Core.cache));
-  Tcl.Interp.register_value interp "crashtest" (fun _ words ->
-      let int_arg s =
-        match int_of_string_opt s with
-        | Some i -> i
-        | None -> Tcl.Interp.failf "expected integer but got \"%s\"" s
-      in
-      match words with
-      | [ _; "at"; n ] ->
-        Server.set_crash_plan app.Tk.Core.conn ~at_request:(int_arg n);
-        ""
-      | [ _; "kill"; name ] -> (
-        (* Abruptly kill a peer application's connection — the driver for
-           two-interpreter crash scenarios (the peer's interpreter lives
-           on with a dead connection, exactly like a wish under
-           -crash-at). Killing our own name is allowed: it crashes this
-           application's connection in place. *)
-        match
-          List.find_opt
-            (fun a -> a.Tk.Core.app_name = name)
-            (Tk.Core.local_apps app.Tk.Core.server)
-        with
-        | Some peer ->
-          Server.kill_connection peer.Tk.Core.conn;
-          ""
-        | None -> Tcl.Interp.failf "no application named \"%s\"" name)
-      | [ _; "status" ] ->
-        Printf.sprintf "alive %d crashed %d crash-at %d requests %d"
-          (if Server.connection_alive app.Tk.Core.conn then 1 else 0)
-          (if Server.connection_crashed app.Tk.Core.conn then 1 else 0)
-          (Server.crash_plan app.Tk.Core.conn)
-          (Server.stats app.Tk.Core.conn).Server.total_requests
-      | _ -> Tcl.Interp.wrong_args "crashtest at n | kill app | status")
-
-let run_script app path =
+let run_script app ~lint path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg ->
     Printf.eprintf "wish: couldn't read %s: %s\n" path msg;
     exit 1
-  | contents -> (
-    match Tcl.Interp.eval app.Tk.Core.interp contents with
+  | contents ->
+    (* -lint: report diagnostics through the background-error pipeline
+       (tkerror/bgerror when defined, stderr otherwise), then source the
+       script anyway — lint is advisory in wish; tclcheck is the gate. *)
+    if lint then
+      List.iter
+        (fun d ->
+          app.Tk.Core.error_handler (Tcl.Lint.format_diag ~file:path d))
+        (Tcl.Lint.analyze app.Tk.Core.interp contents);
+    (match Tcl.Interp.eval app.Tk.Core.interp contents with
     | Tcl.Interp.Tcl_error, msg ->
       Printf.eprintf "wish: error in %s: %s\n" path msg;
       exit 1
     | _ -> Tk.Core.update app)
 
 (* A command is complete when its braces, brackets and quotes balance
-   (so multi-line procs can be typed at the prompt, as in real wish). *)
-let command_complete script =
-  let n = String.length script in
-  let rec scan i depth in_quote =
-    if i >= n then depth <= 0 && not in_quote
-    else
-      match script.[i] with
-      | '\\' -> scan (i + 2) depth in_quote
-      | '"' -> scan (i + 1) depth (not in_quote)
-      | ('{' | '[') when not in_quote -> scan (i + 1) (depth + 1) in_quote
-      | ('}' | ']') when not in_quote -> scan (i + 1) (depth - 1) in_quote
-      | _ -> scan (i + 1) depth in_quote
-  in
-  scan 0 0 false
+   (so multi-line procs can be typed at the prompt, as in real wish) —
+   the same predicate [info complete] exposes to scripts. *)
+let command_complete = Tcl.Lint.complete
 
 let interactive app =
   Tcl.Interp.set_history_recording app.Tk.Core.interp true;
@@ -172,11 +87,17 @@ let interactive app =
 let () =
   let args = Array.to_list Sys.argv in
   let no_cache = ref false in
+  let lint = ref false in
   let rec parse script name stay faults crash_at = function
     | [] -> (script, name, stay, faults, crash_at)
     | "-f" :: path :: rest -> parse (Some path) name stay faults crash_at rest
     | "-name" :: n :: rest -> parse script (Some n) stay faults crash_at rest
     | "-stay" :: rest -> parse script name true faults crash_at rest
+    | "-lint" :: rest ->
+      (* Static-check the script before sourcing it (diagnostics go
+         through tkerror/bgerror); the script still runs. *)
+      lint := true;
+      parse script name stay faults crash_at rest
     | "-no-compile-cache" :: rest ->
       (* Ablation switch: run everything through the reference
          character-at-a-time evaluator instead of the parse-once cache. *)
@@ -198,8 +119,8 @@ let () =
       parse (Some path) name stay faults crash_at rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: wish ?-f script? ?-name appName? ?-stay? ?-faults n? \
-         ?-crash-at n? ?-no-compile-cache?\n";
+        "usage: wish ?-f script? ?-name appName? ?-stay? ?-lint? \
+         ?-faults n? ?-crash-at n? ?-no-compile-cache?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
@@ -224,14 +145,14 @@ let () =
      client crashes wherever in its life request N happens to fall. *)
   if crash_at > 0 then Server.set_crash_plan app.Tk.Core.conn ~at_request:crash_at;
   if !no_cache then Tcl.Interp.set_compile_enabled app.Tk.Core.interp false;
-  install_sim_commands app;
+  Sim_commands.install app;
   (* Make the command line available as $argv / $argc, as wish does. *)
   Tcl.Interp.set_var app.Tk.Core.interp "argv" "";
   Tcl.Interp.set_var app.Tk.Core.interp "argc" "0";
   (try
      match script with
      | Some path ->
-       run_script app path;
+       run_script app ~lint:!lint path;
        if stay then Tk.Core.mainloop app
      | None -> interactive app
    with Tcl.Cmd_control.Exit_program code -> exit code)

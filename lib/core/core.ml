@@ -1002,6 +1002,9 @@ let metrics_snapshot app =
   @ List.map
       (fun (k, v) -> ("tcl.compile." ^ k, v))
       (Tcl.Interp.compile_stats app.interp)
+  @ List.map
+      (fun (k, v) -> ("tcl.lint." ^ k, v))
+      (Tcl.Interp.lint_stats app.interp)
 
 let metric app name =
   List.assoc_opt name (metrics_snapshot app)
@@ -1013,7 +1016,8 @@ let reset_metrics app =
   Rescache.reset_counters app.cache;
   Metrics.reset app.metrics;
   Dispatch.reset_counters app.disp;
-  Tcl.Interp.reset_compile_stats app.interp
+  Tcl.Interp.reset_compile_stats app.interp;
+  Tcl.Interp.reset_lint_stats app.interp
 
 let mainloop app =
   while not app.app_destroyed do

@@ -50,7 +50,7 @@ let rec root_xy app w =
     | None -> (w.Core.x, w.Core.y))
 
 let cmd_winfo app : Tcl.Interp.command =
- fun _interp words ->
+ fun interp words ->
   match words with
   | [ _; "exists"; path ] -> (
     match Core.lookup app path with
@@ -99,8 +99,12 @@ let cmd_winfo app : Tcl.Interp.command =
       ok (Printf.sprintf "%dx%d+%d+%d" w.Core.width w.Core.height w.Core.x w.Core.y)
     | "ismapped" -> ok (if w.Core.mapped then "1" else "0")
     | "id" -> ok (Printf.sprintf "0x%x" w.Core.win)
-    | _ -> failf "bad option \"%s\" to winfo" option)
-  | _ -> Tcl.Interp.wrong_args "winfo option ?arg?"
+    (* The registry supplies the subcommand list and the usage string,
+       so runtime diagnostics match what the static checker predicts. *)
+    | _ -> Tcl.Interp.bad_subcommand interp ~cmd:"winfo" option)
+  | [ _; sub ] when not (List.mem sub [ "exists"; "containing" ]) ->
+    Tcl.Interp.bad_subcommand interp ~cmd:"winfo" sub
+  | _ -> Tcl.Interp.wrong_args_for interp "winfo"
 
 (* ------------------------------------------------------------------ *)
 (* focus (paper §3.7) *)
@@ -308,7 +312,7 @@ let cmd_xstat app : Tcl.Interp.command =
 (* wm: a minimal window-manager interface (we are our own WM) *)
 
 let cmd_wm app : Tcl.Interp.command =
- fun _interp words ->
+ fun interp words ->
   match words with
   | [ _; "title"; path ] ->
     ignore (Core.lookup_exn app path);
@@ -382,7 +386,22 @@ let cmd_wm app : Tcl.Interp.command =
   | [ _; "deiconify"; path ] ->
     Core.map_widget (Core.lookup_exn app path);
     ok ""
-  | _ -> Tcl.Interp.wrong_args "wm option window ?arg?"
+  | _ :: sub :: _ :: _
+    when not (List.mem sub [ "title"; "geometry"; "withdraw"; "deiconify" ])
+    ->
+    Tcl.Interp.bad_subcommand interp ~cmd:"wm" sub
+  | _ -> Tcl.Interp.wrong_args_for interp "wm"
+
+(* ------------------------------------------------------------------ *)
+(* lint: the static checker as a Tcl command.  Analysis never executes
+   the script — it returns a list of {line col severity message}
+   elements and touches nothing but the tcl.lint.* counters. *)
+
+let cmd_lint _app : Tcl.Interp.command =
+ fun interp words ->
+  match words with
+  | [ _; script ] -> ok (Tcl.Lint.to_tcl_list (Tcl.Lint.analyze interp script))
+  | _ -> Tcl.Interp.wrong_args "lint script"
 
 let install app =
   let register name cmd = Tcl.Interp.register app.Core.interp name (cmd app) in
@@ -398,7 +417,111 @@ let install app =
   register "wm" cmd_wm;
   register "xtrace" cmd_xtrace;
   register "xstat" cmd_xstat;
+  register "lint" cmd_lint;
   Pack.install app;
   Place.install app;
   Selection.install app;
-  Sendcmd.install app
+  Sendcmd.install app;
+  (* Shape declarations for the static checker — same usage strings as
+     the wrong_args calls above, same subcommand tables as the pattern
+     matches.  The bind pattern validator hooks Bindpattern into Lint
+     (which, living in the tcl library, cannot see it directly). *)
+  let interp = app.Core.interp in
+  let sg = Tcl.Interp.signature and sub = Tcl.Interp.subsig in
+  List.iter
+    (Tcl.Interp.register_signature interp)
+    [
+      sg "bind" 1 ~max:3 ~usage:"bind window ?pattern? ?command?"
+        ~checks:
+          [
+            {
+              Tcl.Interp.chk_arg = 2;
+              chk =
+                (fun seq ->
+                  match Bindpattern.parse_sequence seq with
+                  | Ok _ -> None
+                  | Error msg -> Some msg);
+            };
+          ];
+      sg "destroy" 1 ~usage:"destroy window ?window ...?";
+      sg "winfo" 1 ~max:3 ~usage:"winfo option ?arg?"
+        ~subs:
+          [
+            sub "children" 1 ~max:1;
+            sub "class" 1 ~max:1;
+            sub "containing" 2 ~max:2;
+            sub "exists" 1 ~max:1;
+            sub "geometry" 1 ~max:1;
+            sub "height" 1 ~max:1;
+            sub "id" 1 ~max:1;
+            sub "interps" 0 ~max:0;
+            sub "ismapped" 1 ~max:1;
+            sub "name" 0 ~max:1;
+            sub "parent" 1 ~max:1;
+            sub "reqheight" 1 ~max:1;
+            sub "reqwidth" 1 ~max:1;
+            sub "rootx" 1 ~max:1;
+            sub "rooty" 1 ~max:1;
+            sub "screenheight" 0 ~max:0;
+            sub "screenwidth" 0 ~max:0;
+            sub "width" 1 ~max:1;
+            sub "x" 1 ~max:1;
+            sub "y" 1 ~max:1;
+          ];
+      sg "focus" 0 ~max:1 ~usage:"focus ?window?";
+      sg "option" 1 ~usage:"option add|get|clear|readfile ..."
+        ~subs:
+          [
+            sub "add" 2 ~max:3;
+            sub "clear" 0 ~max:0;
+            sub "get" 3 ~max:3;
+            sub "readfile" 1 ~max:1;
+          ];
+      sg "after" 1 ~usage:"after ms ?command?";
+      sg "update" 0 ~max:1 ~usage:"update ?idletasks?"
+        ~subs:[ sub "idletasks" 0 ~max:0 ];
+      sg "tkwait" 2 ~max:2 ~usage:"tkwait variable|window name"
+        ~subs:[ sub "variable" 1 ~max:1; sub "window" 1 ~max:1 ];
+      sg "grab" 1 ~max:2 ~usage:"grab set|release|current ?window?"
+        ~subs:
+          [ sub "current" 0 ~max:0; sub "release" 1 ~max:1; sub "set" 1 ~max:1 ];
+      sg "wm" 2 ~usage:"wm option window ?arg?"
+        ~subs:
+          [
+            sub "deiconify" 1 ~max:1;
+            sub "geometry" 1 ~max:2;
+            sub "title" 1 ~max:2;
+            sub "withdraw" 1 ~max:1;
+          ];
+      sg "xtrace" 1 ~max:2 ~usage:"xtrace on ?capacity?|off|dump|clear|status"
+        ~subs:
+          [
+            sub "clear" 0 ~max:0;
+            sub "dump" 0 ~max:0;
+            sub "off" 0 ~max:0;
+            sub "on" 0 ~max:1;
+            sub "status" 0 ~max:0;
+          ];
+      sg "xstat" 0 ~max:2 ~usage:"xstat ?reset|get counter?"
+        ~subs:[ sub "get" 1 ~max:1; sub "reset" 0 ~max:0 ];
+      sg "lint" 1 ~max:1 ~usage:"lint script";
+      sg "pack" 1
+        ~usage:"pack append master window options ?window options ...?"
+        ~subs:
+          [
+            sub "append" 1;
+            sub "info" 1 ~max:1;
+            sub "slaves" 1 ~max:1;
+            sub "unpack" 0;
+          ];
+      sg "place" 1 ~usage:"place window ?options? | place forget window";
+      sg "selection" 1 ~usage:"selection option ?arg arg ...?"
+        ~subs:
+          [
+            sub "clear" 0 ~max:0;
+            sub "get" 0 ~max:0;
+            sub "handle" 2 ~max:2;
+            sub "own" 0 ~max:1;
+          ];
+      sg "send" 2 ~usage:"send appName arg ?arg ...?";
+    ]

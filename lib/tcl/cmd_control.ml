@@ -337,4 +337,40 @@ let install t =
   register t "rename" cmd_rename;
   register_value t "print" cmd_print;
   register_value t "puts" cmd_puts;
-  register_value t "exit" cmd_exit
+  register_value t "exit" cmd_exit;
+  (* Signatures for the static checker: the usage strings are the same
+     ones the wrong_args calls above raise, the arity bounds the same
+     ones the pattern matches accept.  [scripts] marks argument
+     positions holding scripts so the checker descends into them (the
+     control commands additionally get structural handling in Lint). *)
+  List.iter (register_signature t)
+    [
+      signature "set" 1 ~max:2 ~usage:"set varName ?newValue?";
+      signature "unset" 1 ~usage:"unset varName ?varName ...?";
+      signature "incr" 1 ~max:2 ~usage:"incr varName ?increment?";
+      signature "append" 1 ~usage:"append varName ?value value ...?";
+      signature "global" 1 ~usage:"global varName ?varName ...?";
+      signature "upvar" 2
+        ~usage:"upvar ?level? otherVar localVar ?otherVar localVar ...?";
+      signature "uplevel" 1 ~usage:"uplevel ?level? command ?arg ...?";
+      signature "proc" 3 ~max:3 ~scripts:[ 3 ] ~usage:"proc name args body";
+      signature "return" 0 ~max:1 ~usage:"return ?value?";
+      signature "break" 0 ~max:0 ~usage:"break";
+      signature "continue" 0 ~max:0 ~usage:"continue";
+      signature "if" 2 ~usage:"if condition ?then? body ?else body?";
+      signature "while" 2 ~max:2 ~scripts:[ 2 ] ~usage:"while test command";
+      signature "for" 4 ~max:4 ~scripts:[ 1; 3; 4 ]
+        ~usage:"for start test next command";
+      signature "foreach" 3 ~max:3 ~scripts:[ 3 ]
+        ~usage:"foreach varName list command";
+      signature "eval" 1 ~scripts:[ 1 ] ~usage:"eval arg ?arg ...?";
+      signature "catch" 1 ~max:2 ~scripts:[ 1 ]
+        ~usage:"catch command ?varName?";
+      signature "error" 1 ~max:3 ~usage:"error message ?errorInfo? ?errorCode?";
+      signature "expr" 1 ~usage:"expr arg ?arg ...?";
+      signature "source" 1 ~max:1 ~usage:"source fileName";
+      signature "time" 1 ~max:2 ~scripts:[ 1 ] ~usage:"time command ?count?";
+      signature "rename" 2 ~max:2 ~usage:"rename oldName newName";
+      signature "print" 1 ~usage:"print string ?string ...?";
+      signature "exit" 0 ~max:1 ~usage:"exit ?returnCode?";
+    ]

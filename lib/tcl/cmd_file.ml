@@ -301,4 +301,19 @@ let install t =
   register_value t "flush" cmd_flush;
   (* Replaces the basic puts from Cmd_control with the channel-aware
      version (Builtins installs Cmd_control first). *)
-  register_value t "puts" cmd_puts
+  register_value t "puts" cmd_puts;
+  List.iter (register_signature t)
+    [
+      signature "file" 2 ~max:2 ~usage:"file option name";
+      signature "glob" 1 ~usage:"glob ?-nocomplain? pattern ?pattern ...?";
+      signature "pwd" 0 ~max:0 ~usage:"pwd";
+      signature "cd" 1 ~max:1 ~usage:"cd dirName";
+      signature "exec" 1 ~usage:"exec arg ?arg ...?";
+      signature "open" 1 ~max:2 ~usage:"open fileName ?access?";
+      signature "close" 1 ~max:1 ~usage:"close fileId";
+      signature "gets" 1 ~max:2 ~usage:"gets fileId ?varName?";
+      signature "read" 1 ~max:2 ~usage:"read fileId ?numBytes?";
+      signature "eof" 1 ~max:1 ~usage:"eof fileId";
+      signature "flush" 1 ~max:1 ~usage:"flush fileId";
+      signature "puts" 1 ~max:3 ~usage:"puts ?-nonewline? ?fileId? string";
+    ]

@@ -8,6 +8,7 @@ let filter_glob pattern names =
 let cmd_info t words =
   match words with
   | [ _; "exists"; name ] -> if get_var t name <> None then "1" else "0"
+  | [ _; "complete"; script ] -> if Lint.complete script then "1" else "0"
   | _ :: "commands" :: rest ->
     let pattern = match rest with [ p ] -> Some p | _ -> None in
     Tcl_list.format (filter_glob pattern (command_names t))
@@ -58,9 +59,29 @@ let cmd_info t words =
   | _ :: sub :: _ ->
     failf
       "bad option \"%s\": should be args, body, cmdcount, commands, \
-       default, errorinfo, exists, globals, level, locals, procs, \
-       tclversion, or vars"
+       complete, default, errorinfo, exists, globals, level, locals, \
+       procs, tclversion, or vars"
       sub
   | _ -> wrong_args "info option ?arg arg ...?"
 
-let install t = register_value t "info" cmd_info
+let install t =
+  register_value t "info" cmd_info;
+  register_signature t
+    (signature "info" 1 ~usage:"info option ?arg arg ...?"
+       ~subs:
+         [
+           subsig "args" 1 ~max:1;
+           subsig "body" 1 ~max:1;
+           subsig "cmdcount" 0 ~max:0;
+           subsig "commands" 0 ~max:1;
+           subsig "complete" 1 ~max:1;
+           subsig "default" 3 ~max:3;
+           subsig "errorinfo" 0 ~max:0;
+           subsig "exists" 1 ~max:1;
+           subsig "globals" 0 ~max:1;
+           subsig "level" 0 ~max:0;
+           subsig "locals" 0 ~max:1;
+           subsig "procs" 0 ~max:1;
+           subsig "tclversion" 0 ~max:0;
+           subsig "vars" 0 ~max:1;
+         ])

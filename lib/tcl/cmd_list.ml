@@ -187,4 +187,24 @@ let install t =
   (* Tcl-1990 aliases used by the paper's scripts. *)
   register_value t "index" cmd_lindex;
   register_value t "range" cmd_lrange;
-  register_value t "length" cmd_llength
+  register_value t "length" cmd_llength;
+  List.iter (register_signature t)
+    [
+      signature "list" 0 ~usage:"list ?arg arg ...?";
+      signature "lindex" 2 ~max:2 ~usage:"lindex list index";
+      signature "llength" 1 ~max:1 ~usage:"llength list";
+      signature "lrange" 3 ~max:3 ~usage:"lrange list first last";
+      signature "lappend" 1 ~usage:"lappend varName ?value value ...?";
+      signature "linsert" 3 ~usage:"linsert list index element ?element ...?";
+      signature "lreplace" 3
+        ~usage:"lreplace list first last ?element element ...?";
+      signature "lsearch" 2 ~max:3 ~usage:"lsearch ?-exact|-glob? list pattern";
+      signature "lsort" 1
+        ~usage:"lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list";
+      signature "concat" 0 ~usage:"concat ?arg arg ...?";
+      signature "split" 1 ~max:2 ~usage:"split string ?splitChars?";
+      signature "join" 1 ~max:2 ~usage:"join list ?joinString?";
+      signature "index" 2 ~max:2 ~usage:"lindex list index";
+      signature "range" 3 ~max:3 ~usage:"lrange list first last";
+      signature "length" 1 ~max:1 ~usage:"llength list";
+    ]

@@ -114,4 +114,23 @@ let cmd_history t = function
 let install t =
   register t "case" cmd_case;
   register t "array" cmd_array;
-  register t "history" cmd_history
+  register t "history" cmd_history;
+  List.iter (register_signature t)
+    [
+      signature "case" 2
+        ~usage:"case string ?in? patList body ?patList body ...?";
+      signature "array" 2 ~max:3 ~usage:"array option arrayName ?arg ...?"
+        ~subs:
+          [
+            subsig "exists" 1 ~max:1;
+            subsig "names" 1 ~max:2;
+            subsig "size" 1 ~max:1;
+          ];
+      signature "history" 0 ~max:2 ~usage:"history ?option? ?arg?"
+        ~subs:
+          [
+            subsig "event" 0 ~max:1;
+            subsig "nextid" 0 ~max:0;
+            subsig "redo" 0 ~max:1;
+          ];
+    ]

@@ -120,4 +120,11 @@ let cmd_regsub t words =
 
 let install t =
   register_value t "regexp" cmd_regexp;
-  register_value t "regsub" cmd_regsub
+  register_value t "regsub" cmd_regsub;
+  List.iter (register_signature t)
+    [
+      signature "regexp" 2
+        ~usage:"regexp ?-nocase? ?-indices? exp string ?matchVar? ?subVar ...?";
+      signature "regsub" 4
+        ~usage:"regsub ?-all? ?-nocase? exp string subSpec varName";
+    ]

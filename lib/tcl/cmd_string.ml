@@ -378,4 +378,25 @@ let cmd_scan t = function
 let install t =
   register_value t "string" cmd_string;
   register_value t "format" cmd_format;
-  register_value t "scan" cmd_scan
+  register_value t "scan" cmd_scan;
+  List.iter (register_signature t)
+    [
+      signature "string" 2 ~usage:"string option arg ?arg ...?"
+        ~subs:
+          [
+            subsig "compare" 2 ~max:2;
+            subsig "first" 2 ~max:2;
+            subsig "index" 2 ~max:2;
+            subsig "last" 2 ~max:2;
+            subsig "length" 1 ~max:1;
+            subsig "match" 2 ~max:2;
+            subsig "range" 3 ~max:3;
+            subsig "tolower" 1 ~max:1;
+            subsig "toupper" 1 ~max:1;
+            subsig "trim" 1 ~max:2;
+            subsig "trimleft" 1 ~max:2;
+            subsig "trimright" 1 ~max:2;
+          ];
+      signature "format" 1 ~usage:"format formatString ?arg arg ...?";
+      signature "scan" 3 ~usage:"scan string format varName ?varName ...?";
+    ]

@@ -49,6 +49,8 @@ and word =
 and command = {
   words : word list;  (** empty for a blank command (resets the result) *)
   text : string;  (** exact source text, for the errorInfo trace *)
+  pos : int;  (** offset of the command's first word within the source *)
+  wpos : int list;  (** offset of each word's start, parallel to [words] *)
 }
 
 and program = command list
@@ -233,7 +235,7 @@ and compile_word src n pos ~bracket =
    Returns the command, the position after it, and whether compilation of
    the enclosing program must stop here. *)
 and compile_command src n pos0 ~bracket =
-  let rec words pos acc =
+  let rec words pos acc pacc =
     let p = ref pos in
     (* Skip word separators; a backslash-newline counts as one. *)
     let rec skip () =
@@ -257,15 +259,18 @@ and compile_command src n pos0 ~bracket =
       let next =
         if !p < n && (src.[!p] = '\n' || src.[!p] = ';') then !p + 1 else !p
       in
-      (List.rev acc, next, false)
+      (List.rev acc, List.rev pacc, next, false)
     else
       match compile_word src n !p ~bracket with
-      | W_done (w, j) -> words j (w :: acc)
-      | W_stop w -> (List.rev (w :: acc), n, true)
+      | W_done (w, j) -> words j (w :: acc) (!p :: pacc)
+      | W_stop w -> (List.rev (w :: acc), List.rev (!p :: pacc), n, true)
   in
-  let ws, next, failed = words pos0 [] in
+  let ws, wps, next, failed = words pos0 [] [] in
   let stop = min next n in
-  ({ words = ws; text = String.sub src pos0 (stop - pos0) }, next, failed)
+  ( { words = ws; text = String.sub src pos0 (stop - pos0); pos = pos0;
+      wpos = wps },
+    next,
+    failed )
 
 (* Mirrors Interp.eval_loop's scan over commands. *)
 and compile_script src n pos ~bracket acc =

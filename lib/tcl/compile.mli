@@ -33,6 +33,8 @@ and word =
 and command = {
   words : word list;
   text : string;  (** exact source text, quoted by the errorInfo trace *)
+  pos : int;  (** offset of the command's first word within the source *)
+  wpos : int list;  (** offset of each word's start, parallel to [words] *)
 }
 
 and program = command list

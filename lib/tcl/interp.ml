@@ -60,8 +60,87 @@ let fresh_stats () =
     parse_passes = 0;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Command signatures.
+
+   A command may declare, alongside its implementation, what shape of
+   call it accepts: arity bounds, a usage string (the same one its
+   [wrong_args] raises, so lint and runtime share one source of truth),
+   a subcommand table, recognized [-option] switches, which argument
+   positions hold scripts, per-argument literal validators, and — for
+   widget-creating commands — the widget class's own option and
+   subcommand tables.  The registry is purely descriptive: dispatch
+   never consults it.  The static checker ([Lint]) is its consumer. *)
+
+type sub_sig = {
+  sub_name : string;
+  sub_min : int;  (* arguments after "cmd subcommand" *)
+  sub_max : int;  (* -1 = unbounded *)
+}
+
+type widget_sig = {
+  ws_class : string;  (* e.g. "Button" *)
+  ws_options : string list;  (* configure switches, e.g. "-text" *)
+  ws_subs : sub_sig list;  (* widget subcommands beyond configure/cget *)
+}
+
+type arg_check = {
+  chk_arg : int;  (* 1-based argument index *)
+  chk : string -> string option;  (* literal value -> error message *)
+}
+
+type signature = {
+  sig_name : string;
+  sig_usage : string;  (* body of the "wrong # args: should be" message *)
+  sig_min : int;  (* arguments after the command name *)
+  sig_max : int;  (* -1 = unbounded *)
+  sig_subs : sub_sig list;
+  sig_options : string list;  (* leading -switches the command accepts *)
+  sig_scripts : int list;  (* 1-based indices of script arguments *)
+  sig_checks : arg_check list;
+  sig_widget : widget_sig option;  (* set for widget-creating commands *)
+}
+
+let subsig ?(max = -1) name min = { sub_name = name; sub_min = min; sub_max = max }
+
+let signature ?(max = -1) ?(subs = []) ?(options = []) ?(scripts = [])
+    ?(checks = []) ?widget ~usage name min =
+  {
+    sig_name = name;
+    sig_usage = usage;
+    sig_min = min;
+    sig_max = max;
+    sig_subs = subs;
+    sig_options = options;
+    sig_scripts = scripts;
+    sig_checks = checks;
+    sig_widget = widget;
+  }
+
+(* Render alternatives Tcl-style: "a", "a or b", "a, b, or c". *)
+let alternatives names =
+  match names with
+  | [] -> ""
+  | [ a ] -> a
+  | [ a; b ] -> a ^ " or " ^ b
+  | _ ->
+    let rec go = function
+      | [ last ] -> "or " ^ last
+      | x :: rest -> x ^ ", " ^ go rest
+      | [] -> ""
+    in
+    go names
+
+type lint_stats = {
+  mutable lint_runs : int;
+  mutable lint_errors : int;
+  mutable lint_warnings : int;
+}
+
 type t = {
   commands : (string, cmd_def) Hashtbl.t;
+  signatures : (string, signature) Hashtbl.t;
+  lint : lint_stats;
   global_frame : frame;
   mutable stack : frame list; (* non-global frames, innermost first *)
   mutable depth : int; (* current eval nesting, for runaway recursion *)
@@ -114,6 +193,8 @@ let new_frame () = { vars = Hashtbl.create 16 }
 let create () =
   {
     commands = Hashtbl.create 64;
+    signatures = Hashtbl.create 64;
+    lint = { lint_runs = 0; lint_errors = 0; lint_warnings = 0 };
     global_frame = new_frame ();
     stack = [];
     depth = 0;
@@ -303,6 +384,50 @@ let register t name cmd = Hashtbl.replace t.commands name (Builtin cmd)
 
 let register_value t name f =
   register t name (fun t words -> ok (f t words))
+
+let register_signature t s = Hashtbl.replace t.signatures s.sig_name s
+
+let signature_of t name = Hashtbl.find_opt t.signatures name
+
+let signature_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.signatures [])
+
+let usage_of t name =
+  Option.map (fun s -> s.sig_usage) (signature_of t name)
+
+(* Registry-driven replacements for ad-hoc arity/option failures, so the
+   runtime raises the exact message lint predicts. *)
+let wrong_args_for t name =
+  match usage_of t name with
+  | Some usage -> wrong_args usage
+  | None -> failf "wrong # args for \"%s\"" name
+
+let bad_subcommand t ~cmd sub =
+  match signature_of t cmd with
+  | Some s when s.sig_subs <> [] ->
+    let names =
+      List.sort String.compare (List.map (fun x -> x.sub_name) s.sig_subs)
+    in
+    failf "bad option \"%s\": should be %s" sub (alternatives names)
+  | _ -> failf "bad option \"%s\" to %s" sub cmd
+
+let note_lint t ~errors ~warnings =
+  t.lint.lint_runs <- t.lint.lint_runs + 1;
+  t.lint.lint_errors <- t.lint.lint_errors + errors;
+  t.lint.lint_warnings <- t.lint.lint_warnings + warnings
+
+let reset_lint_stats t =
+  t.lint.lint_runs <- 0;
+  t.lint.lint_errors <- 0;
+  t.lint.lint_warnings <- 0
+
+let lint_stats t =
+  [
+    ("runs", string_of_int t.lint.lint_runs);
+    ("errors", string_of_int t.lint.lint_errors);
+    ("warnings", string_of_int t.lint.lint_warnings);
+  ]
 
 (* Compile a script, counting the pass. *)
 let compile_counted t src =

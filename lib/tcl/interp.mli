@@ -171,6 +171,90 @@ val command_exists : t -> string -> bool
 val command_names : t -> string list
 val proc_names : t -> string list
 
+(** {1 Command signatures}
+
+    A command may declare, alongside its implementation, the shape of
+    call it accepts: arity bounds, the exact usage string its
+    {!wrong_args} raises, a subcommand table, recognized [-option]
+    switches, which argument positions hold scripts, per-argument
+    literal validators, and — for widget-creating commands — the widget
+    class's option and subcommand tables.  The registry is purely
+    descriptive (dispatch never consults it); the static checker
+    {!Lint} is its consumer, and {!wrong_args_for}/{!bad_subcommand}
+    let the runtime raise the same messages lint predicts. *)
+
+type sub_sig = {
+  sub_name : string;
+  sub_min : int;  (** arguments after "cmd subcommand" *)
+  sub_max : int;  (** -1 = unbounded *)
+}
+
+type widget_sig = {
+  ws_class : string;  (** e.g. ["Button"] *)
+  ws_options : string list;  (** configure switches, e.g. ["-text"] *)
+  ws_subs : sub_sig list;  (** subcommands beyond configure/cget *)
+}
+
+type arg_check = {
+  chk_arg : int;  (** 1-based argument index *)
+  chk : string -> string option;  (** literal value -> error message *)
+}
+
+type signature = {
+  sig_name : string;
+  sig_usage : string;
+  sig_min : int;  (** arguments after the command name *)
+  sig_max : int;  (** -1 = unbounded *)
+  sig_subs : sub_sig list;
+  sig_options : string list;
+  sig_scripts : int list;  (** 1-based indices of script arguments *)
+  sig_checks : arg_check list;
+  sig_widget : widget_sig option;
+}
+
+val subsig : ?max:int -> string -> int -> sub_sig
+(** [subsig name min] — [max] defaults to unbounded (-1). *)
+
+val signature :
+  ?max:int ->
+  ?subs:sub_sig list ->
+  ?options:string list ->
+  ?scripts:int list ->
+  ?checks:arg_check list ->
+  ?widget:widget_sig ->
+  usage:string ->
+  string ->
+  int ->
+  signature
+(** [signature ~usage name min] builds a signature record;
+    [max] defaults to unbounded (-1). *)
+
+val register_signature : t -> signature -> unit
+val signature_of : t -> string -> signature option
+val signature_names : t -> string list
+
+val usage_of : t -> string -> string option
+(** The registered usage string, if any. *)
+
+val wrong_args_for : t -> string -> 'a
+(** {!wrong_args} with the registry's usage string for the command. *)
+
+val bad_subcommand : t -> cmd:string -> string -> 'a
+(** Raise the standard ["bad option \"x\": should be a, b, or c"]
+    message from the registry's subcommand table. *)
+
+val alternatives : string list -> string
+(** Render a list Tcl-style: ["a"], ["a or b"], ["a, b, or c"]. *)
+
+(** {1 Lint counters}
+
+    Bumped by {!Lint.analyze}; exported as [tcl.lint.*] by the
+    toolkit's metrics registry. *)
+
+val note_lint : t -> errors:int -> warnings:int -> unit
+val reset_lint_stats : t -> unit
+val lint_stats : t -> (string * string) list
+
 (** {1 Environment hooks} *)
 
 val set_output : t -> (string -> unit) -> unit

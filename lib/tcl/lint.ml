@@ -1,0 +1,747 @@
+(* Static analysis of Tcl/Tk scripts over the Compile representation.
+
+   The toolkit's scripts are checked the way Xt applications are checked
+   by the C compiler: before anything runs.  [analyze] compiles the
+   script (directly, bypassing the interpreter's caches — linting must
+   not disturb interpreter state) and walks the compiled program with
+   the command signature registry (Interp.signature) in hand.  Passes:
+
+   1. unknown command / misspelled subcommand / bad -option, with
+      "did you mean" suggestions; suppressed when the script defines a
+      proc of that name anywhere, or a user [unknown] handler is
+      visible (then every unresolved name may be handled at run time);
+   2. arity, using the registry's usage strings, so lint prints exactly
+      the "wrong # args: should be ..." message the runtime would;
+   3. per-proc def/use dataflow (honoring global/upvar/foreach/catch
+      writes) flagging variables that may be read before being set;
+   4. dead code after an unconditional return/break/continue/error in a
+      straight-line command sequence;
+   5. binding event patterns (through validator hooks the toolkit
+      registers with its signatures — this library cannot see
+      Bindpattern) and widget path shape: ".a.b" needs ".a" created
+      somewhere in the same script or already live in the interpreter.
+
+   The analysis is deliberately conservative: a dynamic word (one with
+   $-substitution or [command] substitution in it) defeats any check
+   that would need its value, and a braced word is only descended into
+   as a script where the signature (or the structure of a control
+   command) says a script belongs.  The goal is zero false positives on
+   working scripts; soundness bugs err toward silence. *)
+
+type severity = Error | Warning
+
+type diag = {
+  line : int;  (* 1-based *)
+  col : int;  (* 1-based *)
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let format_diag ?file d =
+  let prefix = match file with Some f -> f ^ ":" | None -> "" in
+  Printf.sprintf "%s%d:%d: %s: %s" prefix d.line d.col
+    (severity_name d.severity) d.message
+
+(* ------------------------------------------------------------------ *)
+(* Script completeness: braces, brackets and quotes balance.  Shared by
+   [info complete] and wish's interactive continuation prompt. *)
+
+let complete script =
+  let n = String.length script in
+  let rec scan i depth in_quote =
+    if i >= n then depth <= 0 && not in_quote
+    else
+      match script.[i] with
+      | '\\' -> scan (i + 2) depth in_quote
+      | '"' -> scan (i + 1) depth (not in_quote)
+      | ('{' | '[') when not in_quote -> scan (i + 1) (depth + 1) in_quote
+      | ('}' | ']') when not in_quote -> scan (i + 1) (depth - 1) in_quote
+      | _ -> scan (i + 1) depth in_quote
+  in
+  scan 0 0 false
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers *)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) (fun j -> j) in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+(* The closest candidate within edit distance 2 — far enough to catch a
+   typo, near enough not to suggest nonsense. *)
+let suggest token candidates =
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = levenshtein token c in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ when d <= 2 && d < String.length c -> Some (c, d)
+        | _ -> acc)
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d > 0 -> Printf.sprintf " (did you mean \"%s\"?)" c
+  | _ -> ""
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Array-element names read/write their base variable. *)
+let var_base name =
+  match String.index_opt name '(' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let parent_path path =
+  if path = "." then None
+  else
+    match String.rindex_opt path '.' with
+    | Some 0 -> Some "."
+    | Some i -> Some (String.sub path 0 i)
+    | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Analysis context and scopes *)
+
+type proc_info = {
+  p_formals : (string * bool) list;  (* formal name, has default *)
+  p_varargs : bool;  (* trailing "args" *)
+}
+
+type ctx = {
+  interp : Interp.t;
+  src : string;  (* the whole script, for line/col mapping *)
+  mutable diags : (int * severity * string) list;  (* absolute offsets *)
+  procs : (string, proc_info option) Hashtbl.t;
+      (* procs defined anywhere in the script; None = formals unknown *)
+  created : (string, Interp.widget_sig option) Hashtbl.t;
+      (* widget paths created anywhere in the script *)
+  extra : (string, unit) Hashtbl.t;  (* rename targets etc. *)
+  mutable suppress_unknown : bool;  (* a user [unknown] handler exists *)
+}
+
+type scope =
+  | Top  (* global scope: variables live across scripts; no dataflow *)
+  | Inproc of pscope
+
+and pscope = {
+  ps_proc : string;
+  ps_defined : (string, unit) Hashtbl.t;
+  ps_warned : (string, unit) Hashtbl.t;
+}
+
+let report ctx off severity fmt =
+  Printf.ksprintf (fun message ->
+      ctx.diags <- (off, severity, message) :: ctx.diags)
+    fmt
+
+let lit_arg (cmd : Compile.command) i =
+  match List.nth_opt cmd.words i with
+  | Some (Compile.W_lit s) -> Some s
+  | _ -> None
+
+let word_off (cmd : Compile.command) i =
+  match List.nth_opt cmd.wpos i with Some p -> p | None -> cmd.pos
+
+(* A literal argument viewed as a nested script: its content plus the
+   offset of that content within the enclosing compile unit (skipping
+   the opening brace or quote).  Positions inside braced bodies are
+   best-effort: Chars.braced_content collapses backslash-newlines, so a
+   body containing one maps approximately. *)
+let script_arg usrc (cmd : Compile.command) i =
+  match (List.nth_opt cmd.words i, List.nth_opt cmd.wpos i) with
+  | Some (Compile.W_lit s), Some wp ->
+    let delta =
+      if wp < String.length usrc && (usrc.[wp] = '{' || usrc.[wp] = '"') then 1
+      else 0
+    in
+    Some (s, wp + delta)
+  | _ -> None
+
+let nargs (cmd : Compile.command) = List.length cmd.words - 1
+
+(* ------------------------------------------------------------------ *)
+(* Pre-pass: collect proc definitions, widget creations and rename
+   targets anywhere in the script (any nesting), so pass 1 can suppress
+   unknown-command reports for names the script itself provides.  The
+   pre-pass descends into *every* braced word — over-collecting from
+   data braces only ever suppresses diagnostics, never invents them. *)
+
+let record_proc ctx name formals =
+  let info =
+    match Tcl_list.parse formals with
+    | Error _ -> None
+    | Ok fs ->
+      let formal f =
+        match Tcl_list.parse f with
+        | Ok [ n ] -> Some (n, false)
+        | Ok [ n; _default ] -> Some (n, true)
+        | _ -> None
+      in
+      let rec build acc = function
+        | [] -> Some { p_formals = List.rev acc; p_varargs = false }
+        | [ "args" ] -> Some { p_formals = List.rev acc; p_varargs = true }
+        | f :: rest -> (
+          match formal f with
+          | Some fm -> build (fm :: acc) rest
+          | None -> None)
+      in
+      build [] fs
+  in
+  (* Keep the best information seen: a redefinition with unknown formals
+     must not erase known ones (conservatively, either may apply). *)
+  match Hashtbl.find_opt ctx.procs name with
+  | Some (Some _) -> if info <> None then Hashtbl.replace ctx.procs name info
+  | _ -> Hashtbl.replace ctx.procs name info
+
+let rec prepass ctx depth (prog : Compile.program) =
+  if depth > 20 then ()
+  else
+    List.iter
+      (fun (cmd : Compile.command) ->
+        (match cmd.words with
+        | Compile.W_lit "proc" :: Compile.W_lit name :: Compile.W_lit formals
+          :: _ ->
+          record_proc ctx name formals
+        | Compile.W_lit "rename" :: _ :: Compile.W_lit newname :: _ ->
+          Hashtbl.replace ctx.extra newname ()
+        | Compile.W_lit creator :: Compile.W_lit path :: _
+          when starts_with "." path -> (
+          match Interp.signature_of ctx.interp creator with
+          | Some { Interp.sig_widget = Some ws; _ } ->
+            if not (Hashtbl.mem ctx.created path) then
+              Hashtbl.replace ctx.created path (Some ws)
+          | _ -> ())
+        | _ -> ());
+        List.iter
+          (fun w ->
+            match w with
+            | Compile.W_lit s ->
+              if String.contains s '\n' || String.contains s ';'
+                 || String.contains s '[' || String.contains s ' '
+              then prepass ctx (depth + 1) (Compile.compile s)
+            | Compile.W_parts parts | Compile.W_fail (parts, _) ->
+              prepass_parts ctx depth parts)
+          cmd.words)
+      prog
+
+and prepass_parts ctx depth parts =
+  List.iter
+    (fun p ->
+      match p with
+      | Compile.Lit _ | Compile.Var _ -> ()
+      | Compile.Var_idx (_, idx) -> prepass_parts ctx depth idx
+      | Compile.Cmd prog -> prepass ctx (depth + 1) prog)
+    parts
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow primitives *)
+
+let define scope name =
+  match scope with
+  | Top -> ()
+  | Inproc ps -> Hashtbl.replace ps.ps_defined (var_base name) ()
+
+let use ctx scope ~soft off name =
+  match scope with
+  | Top -> ()
+  | Inproc ps ->
+    let base = var_base name in
+    if
+      (not soft) && base <> ""
+      && (not (Hashtbl.mem ps.ps_defined base))
+      && not (Hashtbl.mem ps.ps_warned base)
+    then begin
+      Hashtbl.replace ps.ps_warned base ();
+      report ctx off Warning
+        "\"%s\" may be used before being set in procedure \"%s\"" base
+        ps.ps_proc
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The walker *)
+
+let known_command ctx name =
+  Interp.command_exists ctx.interp name
+  || Interp.signature_of ctx.interp name <> None
+  || Hashtbl.mem ctx.procs name
+  || Hashtbl.mem ctx.created name
+  || Hashtbl.mem ctx.extra name
+
+let command_candidates ctx =
+  Interp.command_names ctx.interp
+  @ Hashtbl.fold (fun k _ acc -> k :: acc) ctx.procs []
+
+(* Does the first-word literal name disqualify the command from checks?
+   Binding scripts carry %-sequences; a $-leading name is a compile
+   artifact of an unusual quoting and never resolvable statically. *)
+let uncheckable_name name =
+  name = "" || String.contains name '%' || name.[0] = '$'
+
+let rec walk ctx usrc origin scope ~soft (prog : Compile.program) =
+  let terminated = ref None in
+  let dead_reported = ref false in
+  List.iter
+    (fun (cmd : Compile.command) ->
+      if cmd.words <> [] then begin
+        (match !terminated with
+        | Some by when not !dead_reported ->
+          dead_reported := true;
+          report ctx (origin + cmd.pos) Warning
+            "unreachable command after \"%s\"" by
+        | _ -> ());
+        walk_command ctx usrc origin scope ~soft cmd;
+        (match lit_arg cmd 0 with
+        | Some (("return" | "break" | "continue" | "error" | "exit") as name)
+          ->
+          terminated := Some name
+        | _ -> ())
+      end)
+    prog
+
+and walk_command ctx usrc origin scope ~soft (cmd : Compile.command) =
+  (* Substitutions run in word order before the command fires: record
+     variable uses and descend into [command] substitutions first. *)
+  let failed = ref false in
+  List.iteri
+    (fun i w ->
+      let off = origin + word_off cmd i in
+      match w with
+      | Compile.W_lit _ -> ()
+      | Compile.W_parts parts -> walk_parts ctx usrc origin scope ~soft off parts
+      | Compile.W_fail (parts, msg) ->
+        walk_parts ctx usrc origin scope ~soft off parts;
+        failed := true;
+        report ctx off Error "syntax error: %s" msg)
+    cmd.words;
+  if not !failed then
+    match lit_arg cmd 0 with
+    | None -> ()  (* dynamic command name: nothing checkable *)
+    | Some name when uncheckable_name name -> ()
+    | Some name when starts_with "." name ->
+      walk_widget_call ctx usrc origin scope ~soft cmd name
+    | Some name ->
+      let off = origin + cmd.pos in
+      if not (known_command ctx name) then begin
+        if not ctx.suppress_unknown then
+          report ctx off Error "invalid command name \"%s\"%s" name
+            (suggest name (command_candidates ctx))
+      end
+      else begin
+        (match Interp.signature_of ctx.interp name with
+        | Some s -> apply_signature ctx usrc origin scope ~soft cmd name s
+        | None -> check_script_proc ctx origin cmd name);
+        apply_effects ctx usrc origin scope ~soft cmd name
+      end
+
+and walk_parts ctx usrc origin scope ~soft off parts =
+  List.iter
+    (fun p ->
+      match p with
+      | Compile.Lit _ -> ()
+      | Compile.Var n -> use ctx scope ~soft off n
+      | Compile.Var_idx (b, idx) ->
+        use ctx scope ~soft off b;
+        walk_parts ctx usrc origin scope ~soft off idx
+      | Compile.Cmd prog -> walk ctx usrc origin scope ~soft prog)
+    parts
+
+and walk_script ctx scope ~soft (content, origin) =
+  walk ctx content origin scope ~soft (Compile.compile content)
+
+(* Arity of a proc defined by the script under analysis, reported with
+   the interpreter's own messages. *)
+and check_script_proc ctx origin cmd name =
+  match Hashtbl.find_opt ctx.procs name with
+  | Some (Some info) ->
+    let n = nargs cmd in
+    let required =
+      List.length (List.filter (fun (_, dflt) -> not dflt) info.p_formals)
+    in
+    let maximum =
+      if info.p_varargs then max_int else List.length info.p_formals
+    in
+    if n > maximum then
+      report ctx (origin + cmd.pos) Error
+        "called \"%s\" with too many arguments" name
+    else if n < required then begin
+      match List.nth_opt info.p_formals n with
+      | Some (formal, _) ->
+        report ctx (origin + cmd.pos) Error
+          "no value given for parameter \"%s\" to \"%s\"" formal name
+      | None -> ()
+    end
+  | _ -> ()
+
+and apply_signature ctx usrc origin scope ~soft cmd name (s : Interp.signature)
+    =
+  let n = nargs cmd in
+  let off = origin + cmd.pos in
+  if n < s.Interp.sig_min || (s.Interp.sig_max >= 0 && n > s.Interp.sig_max)
+  then report ctx off Error "wrong # args: should be \"%s\"" s.Interp.sig_usage
+  else begin
+    (* Subcommand table: only a literal first argument that cannot be a
+       window path, switch or substitution artifact is checkable. *)
+    (match (s.Interp.sig_subs, lit_arg cmd 1) with
+    | (_ :: _ as subs), Some sub
+      when n >= 1 && sub <> ""
+           && (not (starts_with "." sub))
+           && (not (starts_with "-" sub))
+           && not (String.contains sub '%') -> (
+      match
+        List.find_opt (fun x -> x.Interp.sub_name = sub) subs
+      with
+      | None ->
+        let names =
+          List.sort String.compare
+            (List.map (fun x -> x.Interp.sub_name) subs)
+        in
+        report ctx (origin + word_off cmd 1) Error
+          "bad option \"%s\": should be %s%s" sub
+          (Interp.alternatives names) (suggest sub names)
+      | Some x ->
+        let rest = n - 1 in
+        if
+          rest < x.Interp.sub_min
+          || (x.Interp.sub_max >= 0 && rest > x.Interp.sub_max)
+        then
+          report ctx off Error "wrong # args: should be \"%s\""
+            s.Interp.sig_usage)
+    | _ -> ());
+    (* Per-argument literal validators (e.g. bind event patterns). *)
+    List.iter
+      (fun { Interp.chk_arg; chk } ->
+        match lit_arg cmd chk_arg with
+        | Some v when not (String.contains v '%') -> (
+          match chk v with
+          | Some msg -> report ctx (origin + word_off cmd chk_arg) Error "%s" msg
+          | None -> ())
+        | _ -> ())
+      s.Interp.sig_checks;
+    (* Widget creation: path shape, parent, option/value pairs. *)
+    (match s.Interp.sig_widget with
+    | Some ws -> check_widget_creation ctx usrc origin cmd ws
+    | None -> ());
+    walk_structure ctx usrc origin scope ~soft cmd name s
+  end
+
+(* Control commands get structural recursion into their braced bodies;
+   anything else follows the signature's script-argument indices. *)
+and walk_structure ctx usrc origin scope ~soft cmd name s =
+  let n = nargs cmd in
+  let walk_arg ?(scope = scope) ?(soft = soft) i =
+    match script_arg usrc cmd i with
+    | Some (content, rel) -> walk_script ctx scope ~soft (content, origin + rel)
+    | None -> ()
+  in
+  match name with
+  | "proc" -> (
+    match (lit_arg cmd 1, lit_arg cmd 2) with
+    | Some pname, Some formals -> (
+      match Hashtbl.find_opt ctx.procs pname with
+      | Some (Some info) ->
+        let ps =
+          {
+            ps_proc = pname;
+            ps_defined = Hashtbl.create 8;
+            ps_warned = Hashtbl.create 8;
+          }
+        in
+        List.iter (fun (f, _) -> Hashtbl.replace ps.ps_defined f ())
+          info.p_formals;
+        Hashtbl.replace ps.ps_defined "args" ();
+        walk_arg ~scope:(Inproc ps) ~soft:false 3
+      | _ -> ignore formals)
+    | _ -> ())
+  | "if" ->
+    (* if cond ?then? body ?elseif cond ?then? body ...? ??else? body? *)
+    let rec clause i =
+      let i = if lit_arg cmd i = Some "then" then i + 1 else i in
+      if i <= n then begin
+        walk_arg i;
+        tail (i + 1)
+      end
+    and tail i =
+      if i <= n then
+        match lit_arg cmd i with
+        | Some "elseif" -> clause (i + 2)
+        | Some "else" -> walk_arg (i + 1)
+        | _ when i = n -> walk_arg i  (* old-style implicit else *)
+        | _ -> ()
+    in
+    clause 2
+  | "while" -> walk_arg 2
+  | "for" ->
+    walk_arg 1;
+    walk_arg 3;
+    walk_arg 4
+  | "foreach" ->
+    (match lit_arg cmd 1 with Some v -> define scope v | None -> ());
+    walk_arg 3
+  | "catch" ->
+    (* The body is often *expected* to fail (catch {unset x} is the
+       idiom for "forget x if set"), so record its writes but keep its
+       reads quiet. *)
+    walk_arg ~soft:true 1
+  | "time" -> walk_arg 1
+  | "eval" -> if n = 1 then walk_arg 1
+  | "uplevel" ->
+    (* Runs in the caller's frame, whose variables we cannot see. *)
+    if n = 1 then walk_arg ~soft:true 1
+  | "after" ->
+    (* The script fires later from the event loop, at global scope.
+       Only the "after ms script" form carries one ("after cancel id"
+       does not). *)
+    (match lit_arg cmd 1 with
+    | Some ms when int_of_string_opt ms <> None ->
+      if n = 2 then walk_arg ~scope:Top 2
+    | _ -> ())
+  | "bind" -> if n = 3 then walk_arg ~scope:Top 3
+  | "send" -> ()  (* executes in another interpreter; not ours to judge *)
+  | _ ->
+    List.iter (fun i -> if i <= n then walk_arg i) s.Interp.sig_scripts
+
+and check_widget_creation ctx usrc origin cmd (ws : Interp.widget_sig) =
+  match lit_arg cmd 1 with
+  | None -> ()
+  | Some path ->
+    let off = origin + word_off cmd 1 in
+    if not (starts_with "." path) then
+      report ctx off Error "bad window path name \"%s\"" path
+    else begin
+      (match parent_path path with
+      | Some parent
+        when (not (Hashtbl.mem ctx.created parent))
+             && not (Interp.command_exists ctx.interp parent) ->
+        report ctx off Error
+          "bad window path name \"%s\" (parent \"%s\" is never created)" path
+          parent
+      | _ -> ());
+      check_option_pairs ctx origin cmd ~start:2 ~what:ws.Interp.ws_class
+        ws.Interp.ws_options
+    end;
+    ignore usrc
+
+(* -switch value pairs, as in widget creation and configure.  Switches
+   may be abbreviated to an unambiguous prefix (Core.find_spec). *)
+and check_option_pairs ctx origin cmd ~start ~what options =
+  let n = nargs cmd in
+  let rec go i =
+    if i <= n then begin
+      (match lit_arg cmd i with
+      | Some sw when sw <> "" && not (String.contains sw '%') ->
+        let off = origin + word_off cmd i in
+        let matches = List.filter (fun o -> starts_with sw o) options in
+        if List.mem sw options || List.length matches = 1 then begin
+          if i = n then report ctx off Error "value for \"%s\" missing" sw
+        end
+        else if matches = [] then
+          report ctx off Error "unknown option \"%s\"%s" sw
+            (suggest sw options)
+        else report ctx off Error "ambiguous option \"%s\"" sw
+      | _ -> ());
+      go (i + 2)
+    end
+  in
+  ignore what;
+  go start
+
+(* A command named by a widget path: resolve the class the script gave
+   it and check subcommand, arity and configure options. *)
+and walk_widget_call ctx usrc origin scope ~soft cmd path =
+  let off = origin + cmd.pos in
+  let class_of =
+    match Hashtbl.find_opt ctx.created path with
+    | Some ws -> ws
+    | None -> None
+  in
+  if
+    (not (Hashtbl.mem ctx.created path))
+    && not (Interp.command_exists ctx.interp path)
+  then begin
+    if not ctx.suppress_unknown then
+      report ctx off Error "invalid command name \"%s\"%s" path
+        (suggest path
+           (Hashtbl.fold (fun k _ acc -> k :: acc) ctx.created []))
+  end
+  else
+    match class_of with
+    | None -> ()  (* live widget of unknown class: nothing safe to say *)
+    | Some ws -> (
+      let n = nargs cmd in
+      if n = 0 then
+        report ctx off Error "wrong # args: should be \"%s option ?arg arg ...?\""
+          path
+      else
+        match lit_arg cmd 1 with
+        | None -> ()
+        | Some "configure" ->
+          check_option_pairs ctx origin cmd ~start:2 ~what:ws.Interp.ws_class
+            ws.Interp.ws_options
+        | Some "cget" ->
+          if n <> 2 then
+            report ctx off Error "wrong # args: should be \"%s cget option\""
+              path
+          else
+            check_option_pairs ctx origin cmd ~start:2
+              ~what:ws.Interp.ws_class ws.Interp.ws_options
+        | Some sub when not (String.contains sub '%') -> (
+          match
+            List.find_opt
+              (fun x -> x.Interp.sub_name = sub)
+              ws.Interp.ws_subs
+          with
+          | None ->
+            let names =
+              "cget" :: "configure"
+              :: List.map (fun x -> x.Interp.sub_name) ws.Interp.ws_subs
+            in
+            report ctx (origin + word_off cmd 1) Error
+              "bad option \"%s\" for %s%s" sub path (suggest sub names)
+          | Some x ->
+            let rest = n - 1 in
+            if
+              rest < x.Interp.sub_min
+              || (x.Interp.sub_max >= 0 && rest > x.Interp.sub_max)
+            then
+              report ctx off Error "wrong # args for \"%s %s\"" path sub)
+        | Some _ -> ());
+  ignore usrc;
+  ignore scope;
+  ignore soft
+
+(* Variable def/use effects of the commands that touch variables. *)
+and apply_effects ctx usrc origin scope ~soft cmd name =
+  let n = nargs cmd in
+  let arg = lit_arg cmd in
+  let off i = origin + word_off cmd i in
+  let define_arg i = match arg i with Some v -> define scope v | None -> () in
+  let use_arg i =
+    match arg i with Some v -> use ctx scope ~soft (off i) v | None -> ()
+  in
+  match name with
+  | "set" -> if n >= 2 then define_arg 1 else use_arg 1
+  | "incr" ->
+    use_arg 1;
+    define_arg 1
+  | "append" | "lappend" -> define_arg 1
+  | "unset" ->
+    for i = 1 to n do
+      use_arg i;
+      define_arg i
+    done
+  | "global" ->
+    (* Globals are defined elsewhere by definition. *)
+    for i = 1 to n do
+      define_arg i
+    done
+  | "upvar" ->
+    (* upvar ?level? otherVar localVar ... — locals become aliases. *)
+    let first_is_level =
+      match arg 1 with
+      | Some a ->
+        (a <> "" && (a.[0] = '#' || int_of_string_opt a <> None)) && n >= 3
+      | None -> false
+    in
+    let start = if first_is_level then 3 else 2 in
+    let i = ref start in
+    while !i <= n do
+      define_arg !i;
+      i := !i + 2
+    done
+  | "foreach" -> define_arg 1  (* also set before the body walk *)
+  | "catch" -> if n = 2 then define_arg 2
+  | "scan" ->
+    for i = 3 to n do
+      define_arg i
+    done
+  | "gets" -> if n = 2 then define_arg 2
+  | "regexp" ->
+    (* regexp ?flags? exp string ?matchVar subVar ...? — without flag
+       parsing, defining every trailing literal is the safe direction. *)
+    for i = 3 to n do
+      define_arg i
+    done
+  | "regsub" -> if n >= 4 then define_arg n
+  | _ -> ignore usrc
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+let line_col src off =
+  let off = max 0 (min off (String.length src)) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to off - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let analyze interp src =
+  (* Compile directly — never through the interpreter's caches, never
+     executing anything: analysis must leave the interpreter exactly as
+     it found it (except the tcl.lint.* counters). *)
+  let prog = Compile.compile src in
+  let ctx =
+    {
+      interp;
+      src;
+      diags = [];
+      procs = Hashtbl.create 16;
+      created = Hashtbl.create 16;
+      extra = Hashtbl.create 4;
+      suppress_unknown = false;
+    }
+  in
+  prepass ctx 0 prog;
+  ctx.suppress_unknown <-
+    Hashtbl.mem ctx.procs "unknown" || Interp.command_exists interp "unknown";
+  walk ctx src 0 Top ~soft:false prog;
+  let diags =
+    List.sort compare (List.rev_map (fun d -> d) ctx.diags)
+  in
+  let result =
+    List.map
+      (fun (off, severity, message) ->
+        let line, col = line_col src off in
+        { line; col; severity; message })
+      diags
+  in
+  let errors =
+    List.length (List.filter (fun d -> d.severity = Error) result)
+  in
+  let warnings = List.length result - errors in
+  Interp.note_lint interp ~errors ~warnings;
+  result
+
+(* Diagnostics rendered as a Tcl list of {line col severity msg}
+   elements — the result of the [lint] command. *)
+let to_tcl_list diags =
+  Tcl_list.format
+    (List.map
+       (fun d ->
+         Tcl_list.format
+           [
+             string_of_int d.line;
+             string_of_int d.col;
+             severity_name d.severity;
+             d.message;
+           ])
+       diags)

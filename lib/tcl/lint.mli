@@ -1,0 +1,48 @@
+(** Static analysis of Tcl/Tk scripts over the {!Compile} representation.
+
+    {!analyze} compiles a script (directly — bypassing the interpreter's
+    caches and executing nothing) and checks it against the command
+    signature registry ({!Interp.signature}): unknown commands,
+    misspelled subcommands and [-options] (with "did you mean"
+    suggestions), arity against the registry's exact
+    ["wrong # args"] usage strings, per-procedure use-before-set
+    dataflow, unreachable code after [return]/[break]/[continue]/
+    [error], per-argument literal validators (the toolkit hooks binding
+    event-pattern validation here), and widget path shape (a parent
+    must be created within the same script or already live in the
+    interpreter).
+
+    Unknown-command reports are suppressed for names the script itself
+    defines ([proc], [rename], widget creation), and entirely when a
+    user [unknown] handler is visible.  Dynamic words (with [$] or
+    [\[...\]] substitutions) defeat any check needing their value: the
+    analysis aims for zero false positives on working scripts. *)
+
+type severity = Error | Warning
+
+type diag = {
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  severity : severity;
+  message : string;
+}
+
+val analyze : Interp.t -> string -> diag list
+(** Check a script, sorted by position.  Never executes it; the only
+    interpreter state touched is the [tcl.lint.*] counters
+    ({!Interp.note_lint}). *)
+
+val complete : string -> bool
+(** Whether a script's braces, brackets and quotes balance — the
+    [info complete] predicate, also used by wish's interactive
+    continuation prompt. *)
+
+val severity_name : severity -> string
+(** ["error"] or ["warning"]. *)
+
+val format_diag : ?file:string -> diag -> string
+(** ["file:line:col: severity: message"]. *)
+
+val to_tcl_list : diag list -> string
+(** Diagnostics as a Tcl list of [{line col severity msg}] elements —
+    the result format of the [lint] command. *)

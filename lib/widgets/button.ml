@@ -293,11 +293,25 @@ let make_class kind =
   cls
 
 let creator app kind command =
+  let subs =
+    List.map
+      (fun name -> Tcl.Interp.subsig name 0 ~max:0)
+      (match kind with
+      | Label -> [ "flash"; "activate"; "deactivate" ]
+      | Push -> [ "flash"; "invoke"; "activate"; "deactivate" ]
+      | Check ->
+        [
+          "flash"; "invoke"; "activate"; "deactivate"; "select"; "deselect";
+          "toggle";
+        ]
+      | Radio ->
+        [ "flash"; "invoke"; "activate"; "deactivate"; "select"; "deselect" ])
+  in
   Wutil.standard_creator app ~command
     ~make:(fun () -> make_class kind)
     ~data:(fun () ->
       Button_data { kind; active = false; pressed = false; flashes = 0 })
-    ()
+    ~subs ()
 
 let install app =
   creator app Label "label";

@@ -203,5 +203,15 @@ let make_class () =
 
 let install app =
   Wutil.standard_creator app ~command:"canvas" ~make:make_class
+    ~subs:
+      Tcl.Interp.
+        [
+          subsig "create" 1;
+          subsig "delete" 1 ~max:1;
+          subsig "move" 3 ~max:3;
+          subsig "coords" 1;
+          subsig "type" 1 ~max:1;
+          subsig "itemcount" 0 ~max:0;
+        ]
     ~data:(fun () -> Canvas_data { items = []; next_id = 1 })
     ()

@@ -184,4 +184,13 @@ let make_class () =
 let install app =
   Wutil.standard_creator app ~command:"entry" ~make:make_class
     ~data:(fun () -> Entry_data { text = ""; cursor = 0; focused = false })
+    ~subs:
+      Tcl.Interp.
+        [
+          subsig "get" 0 ~max:0;
+          subsig "insert" 2 ~max:2;
+          subsig "delete" 1 ~max:2;
+          subsig "icursor" 1 ~max:1;
+          subsig "index" 1 ~max:1;
+        ]
     ()

@@ -274,4 +274,16 @@ let install app =
     ~data:(fun () ->
       Listbox_data { elements = [||]; top = 0; sel = None; anchor = 0 })
     ~post_create:(fun w -> update_scroll w)
+    ~subs:
+      Tcl.Interp.
+        [
+          subsig "insert" 1;
+          subsig "delete" 1 ~max:2;
+          subsig "get" 1 ~max:1;
+          subsig "size" 0 ~max:0;
+          subsig "view" 0 ~max:1;
+          subsig "yview" 0 ~max:1;
+          subsig "curselection" 0 ~max:0;
+          subsig "select" 1 ~max:2;
+        ]
     ()

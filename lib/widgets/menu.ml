@@ -299,6 +299,17 @@ let make_menubutton_class () =
 
 let install app =
   Wutil.standard_creator app ~command:"menu" ~make:make_menu_class
+    ~subs:
+      Tcl.Interp.
+        [
+          subsig "add" 1;
+          subsig "delete" 1 ~max:1;
+          subsig "invoke" 1 ~max:1;
+          subsig "post" 2 ~max:2;
+          subsig "unpost" 0 ~max:0;
+          subsig "size" 0 ~max:0;
+          subsig "entrylabel" 1 ~max:1;
+        ]
     ~data:(fun () -> Menu_data { entries = []; active = None; posted = false })
     ~post_create:(fun w ->
       (* Menus start unmapped and never participate in packing. *)

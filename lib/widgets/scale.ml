@@ -161,4 +161,5 @@ let make_class () =
 let install app =
   Wutil.standard_creator app ~command:"scale" ~make:make_class
     ~data:(fun () -> Scale_data { value = 0 })
+    ~subs:Tcl.Interp.[ subsig "get" 0 ~max:0; subsig "set" 1 ~max:1 ]
     ()

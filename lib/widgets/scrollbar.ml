@@ -188,4 +188,5 @@ let install app =
   Wutil.standard_creator app ~command:"scrollbar" ~make:make_class
     ~data:(fun () ->
       Scrollbar_data { total = 0; window = 1; first = 0; last = 0; dragging = None })
+    ~subs:Tcl.Interp.[ subsig "set" 4 ~max:4; subsig "get" 0 ~max:0 ]
     ()

@@ -399,4 +399,17 @@ let install app =
           anchor = (1, 0);
           focused = false;
         })
+    ~subs:
+      Tcl.Interp.
+        [
+          subsig "insert" 2 ~max:2;
+          subsig "delete" 1 ~max:2;
+          subsig "get" 1 ~max:2;
+          subsig "index" 1 ~max:1;
+          subsig "mark" 1 ~max:3;
+          subsig "view" 0 ~max:1;
+          subsig "yview" 0 ~max:1;
+          subsig "tag" 2 ~max:4;
+          subsig "lines" 0 ~max:0;
+        ]
     ()

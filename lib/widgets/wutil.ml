@@ -60,7 +60,23 @@ let draw_anchored_text w ?(fg = "-foreground") ?(font = "-font") ?(dx = 0)
       Server.draw_text app.Tk.Core.conn w.Tk.Core.win gc ~x:x0 ~y:baseline line)
     (String.split_on_char '\n' text)
 
-let standard_creator app ~command ~make ?data ?post_create () =
+(* Export the class's runtime configure table (and optional widget
+   subcommand arities) into the interpreter's signature registry so the
+   lint layer shares one source of truth with execution. *)
+let declare_widget app ~command ?(subs = []) cls =
+  let options = List.map (fun s -> s.Tk.Core.switch) cls.Tk.Core.specs in
+  Tcl.Interp.register_signature app.Tk.Core.interp
+    (Tcl.Interp.signature command 1
+       ~usage:(command ^ " pathName ?options?")
+       ~widget:
+         {
+           Tcl.Interp.ws_class = cls.Tk.Core.cname;
+           ws_options = options;
+           ws_subs = subs;
+         })
+
+let standard_creator app ~command ~make ?data ?post_create ?(subs = []) () =
+  declare_widget app ~command ~subs (make ());
   Tcl.Interp.register app.Tk.Core.interp command (fun _interp words ->
       match words with
       | _ :: path :: args ->

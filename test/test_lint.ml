@@ -1,0 +1,379 @@
+(* Tests for the static analyzer (lint.ml, the [lint] command and the
+   signature registry behind them): a fixture corpus of seeded defects
+   that must each be caught, a zero-false-positive sweep over known-good
+   scripts (including examples/*.tcl), the non-execution guarantee, and
+   the shared-usage-string contract between runtime and lint. *)
+
+open Xsim
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let fresh_app ?(name = "lint") () =
+  let server = Server.create () in
+  let app = Tk_widgets.Tk_widgets_lib.new_app ~server ~name () in
+  (server, app)
+
+let run app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "script %S failed: %s" script msg
+
+let run_err app script =
+  match Tcl.Interp.eval_value app.Tk.Core.interp script with
+  | Ok v -> Alcotest.failf "script %S unexpectedly succeeded: %s" script v
+  | Error msg -> msg
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let lint app src = Tcl.Lint.analyze app.Tk.Core.interp src
+
+let messages diags = List.map (fun d -> d.Tcl.Lint.message) diags
+
+(* ------------------------------------------------------------------ *)
+(* Seeded defects: each fixture is (name, script, expected substring).
+   The analyzer must produce at least one diagnostic containing the
+   substring. *)
+
+let defect_fixtures =
+  [
+    ( "misspelled command name",
+      "buton .b -text hi",
+      "invalid command name \"buton\" (did you mean \"button\"?)" );
+    ( "unknown configure option",
+      "button .b -txt hi",
+      "unknown option \"-txt\" (did you mean \"-text\"?)" );
+    ("missing option value", "button .b -text", "value for \"-text\" missing");
+    ("ambiguous option prefix", "button .b -fo x", "ambiguous option \"-fo\"");
+    ( "set arity",
+      "set",
+      "wrong # args: should be \"set varName ?newValue?\"" );
+    ( "lindex arity",
+      "lindex {a b}",
+      "wrong # args: should be \"lindex list index\"" );
+    ("string bad subcommand", "string frobnicate x", "bad option \"frobnicate\"");
+    ( "string subcommand arity",
+      "string index abc",
+      "wrong # args" );
+    ( "array misspelled subcommand",
+      "array nmaes a",
+      "did you mean \"names\"" );
+    ("info misspelled subcommand", "info exits foo", "did you mean \"exists\"");
+    ( "use before set in a proc",
+      "proc p {} {\n  puts $never\n}",
+      "\"never\" may be used before being set in procedure \"p\"" );
+    ( "dead code after return",
+      "proc p {} {\n  return 1\n  puts x\n}",
+      "unreachable command after \"return\"" );
+    ( "dead code after error",
+      "proc p {} {\n  error bad\n  puts x\n}",
+      "unreachable command after \"error\"" );
+    ( "dead code after break",
+      "while 1 {\n  break\n  puts x\n}",
+      "unreachable command after \"break\"" );
+    ( "widget misspelled subcommand",
+      "button .b\n.b confgure -text x",
+      "bad option \"confgure\" for .b (did you mean \"configure\"?)" );
+    ( "widget subcommand arity",
+      "button .b\n.b invoke extra",
+      "wrong # args for \".b invoke\"" );
+    ( "widget cget arity",
+      "button .b\n.b cget",
+      "wrong # args: should be \".b cget option\"" );
+    ( "widget cget unknown option",
+      "button .b\n.b cget -nosuch",
+      "unknown option \"-nosuch\"" );
+    ( "bad binding event pattern",
+      "button .b\nbind .b <Buton-1> {puts hi}",
+      "bad event type or keysym" );
+    ( "orphan widget path",
+      "label .l.x -text hi",
+      "bad window path name \".l.x\" (parent \".l\" is never created)" );
+    ("wm misspelled subcommand", "wm titel . hi", "bad option \"titel\"");
+    ("winfo misspelled subcommand", "winfo hieght .", "did you mean \"height\"");
+    ( "proc called with too many args",
+      "proc two {a b} {return $a}\ntwo 1 2 3",
+      "called \"two\" with too many arguments" );
+    ( "proc called with too few args",
+      "proc two {a b} {return $a}\ntwo 1",
+      "no value given for parameter \"b\" to \"two\"" );
+    ( "listbox subcommand arity",
+      "listbox .l\n.l get",
+      "wrong # args for \".l get\"" );
+    ( "scrollbar set arity",
+      "scrollbar .s\n.s set 1 2",
+      "wrong # args for \".s set\"" );
+    ( "menu post arity",
+      "menu .m\n.m post 5",
+      "wrong # args for \".m post\"" );
+    ( "pack misspelled subcommand",
+      "button .b\npack appnd . .b {top}",
+      "bad option \"appnd\"" );
+    ( "option misspelled subcommand",
+      "option ad Foo.bar baz",
+      "bad option \"ad\"" );
+    ( "bind arity",
+      "button .b\nbind .b <Button-1> {puts hi} extra",
+      "wrong # args" );
+  ]
+
+let defect_tests =
+  List.map
+    (fun (name, script, needle) ->
+      ( name,
+        fun () ->
+          let _, app = fresh_app () in
+          let found = messages (lint app script) in
+          if not (List.exists (contains ~needle) found) then
+            Alcotest.failf "expected a diagnostic containing %S, got: %s"
+              needle
+              (String.concat " | " found) ))
+    defect_fixtures
+
+(* ------------------------------------------------------------------ *)
+(* Known-good corpus: inline scripts in the style of the rest of the
+   test suite and the paper's figures. Zero diagnostics allowed. *)
+
+let clean_corpus =
+  [
+    "button .b -text go -command {set clicked 1}\npack append . .b {top}";
+    "frame .f -width 60 -height 40\nbutton .f.b -text hi\n\
+     pack append .f .f.b {top}";
+    "proc greet {name} {return \"hi $name\"}\ngreet world";
+    "proc f {} {\n  global x\n  set x 5\n  return $x\n}";
+    "proc sum {} {\n  set total 0\n  foreach i {1 2 3} {incr total $i}\n\
+     \  return $total\n}";
+    "proc h {} {\n  upvar 1 y local\n  return $local\n}";
+    "proc k {a} {\n  catch {incr missing}\n  return $a\n}";
+    "set x 1\nif {$x} {puts yes} else {puts no}";
+    "for {set i 0} {$i < 3} {incr i} {puts $i}";
+    "listbox .l\n.l insert 0 a b c\n.l select from 0\n.l get 0";
+    "entry .e\n.e insert 0 hello\n.e delete 0 2";
+    "button .b\nbind .b <Control-q> {destroy .}";
+    "menu .m\n.m add command -label Open -command {puts open}\n\
+     .m add separator";
+    "canvas .c\nset id [.c create line 0 0 10 10]\n.c move 1 5 5";
+    "proc callback {} {puts pressed}\nbutton .b -command callback";
+    "text .t\n.t insert 1.0 hello\n.t get 1.0 1.5";
+    "scale .s\n.s set 5\n.s get";
+    "scrollbar .sb\n.sb set 10 5 0 4\n.sb get";
+    "wm title . Browser\nwm geometry . 80x24";
+    "after 100 {puts tick}";
+    "send otherApp {anything at all}";
+    "set cmd puts\n$cmd hello";
+    "set f /tmp\nif [file exists $f] {puts yes}";
+    "main\nproc main {} {puts hi}";
+    "proc unknown {args} {return \"\"}\nfrobnicate the args";
+    "catch {exec ls /nonexistent} out\nputs $out";
+    "proc varargs {a args} {return $a}\nvarargs 1 2 3 4";
+  ]
+
+let clean_tests =
+  List.mapi
+    (fun i script ->
+      ( Printf.sprintf "clean corpus #%d" (i + 1),
+        fun () ->
+          let _, app = fresh_app () in
+          (* The corpus runs under wish, where the simulation commands
+             exist; mirror that environment. *)
+          List.iter
+            (fun name ->
+              Tcl.Interp.register_value app.Tk.Core.interp name (fun _ _ -> ""))
+            [ "screendump"; "inject"; "serverstats"; "faultstats"; "crashtest" ];
+          match messages (lint app script) with
+          | [] -> ()
+          | found ->
+            Alcotest.failf "false positive on %S: %s" script
+              (String.concat " | " found) ))
+    clean_corpus
+
+(* Every .tcl file under examples/ must lint clean (the CI gate runs the
+   tclcheck binary over the same corpus). *)
+let examples_sweep () =
+  (* cwd is the test's build directory under [dune runtest], the
+     workspace root under [dune exec]. *)
+  let dir =
+    if Sys.file_exists "../examples" then "../examples" else "examples"
+  in
+  let entries =
+    match Sys.readdir dir with
+    | entries -> Array.to_list entries
+    | exception Sys_error msg -> Alcotest.failf "examples missing: %s" msg
+  in
+  let tcl = List.filter (fun e -> Filename.check_suffix e ".tcl") entries in
+  check_bool "at least one example script" true (tcl <> []);
+  List.iter
+    (fun entry ->
+      let _, app = fresh_app () in
+      List.iter
+        (fun name ->
+          Tcl.Interp.register_value app.Tk.Core.interp name (fun _ _ -> ""))
+        [ "screendump"; "inject"; "serverstats"; "faultstats"; "crashtest" ];
+      let src =
+        In_channel.with_open_text (Filename.concat dir entry)
+          In_channel.input_all
+      in
+      match messages (lint app src) with
+      | [] -> ()
+      | found ->
+        Alcotest.failf "false positive in %s: %s" entry
+          (String.concat " | " found))
+    tcl
+
+(* Scripts from the rest of this test suite's style must also stay
+   clean when linted through the [lint] Tcl command. *)
+let lint_command_tests =
+  [
+    ( "lint returns diagnostics as a Tcl list",
+      fun () ->
+        let _, app = fresh_app () in
+        let out = run app "lint {buton .b}" in
+        check_bool "mentions invalid command" true
+          (contains ~needle:"invalid command name" out);
+        check_bool "has line and column" true (contains ~needle:"1 1" out) );
+    ( "lint of a clean script returns empty",
+      fun () ->
+        let _, app = fresh_app () in
+        check_string "no diagnostics" "" (run app "lint {set x 1}") );
+    ( "lint arity",
+      fun () ->
+        let _, app = fresh_app () in
+        let msg = run_err app "lint" in
+        check_bool "usage" true (contains ~needle:"lint script" msg) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The non-execution guarantee: linting a script performs no X requests
+   and leaves no trace in the interpreter (no variables set, no widgets
+   or procs created). *)
+
+let non_execution_tests =
+  [
+    ( "lint executes nothing",
+      fun () ->
+        let _, app = fresh_app () in
+        let requests_before =
+          (Server.stats app.Tk.Core.conn).Server.total_requests
+        in
+        ignore
+          (run app
+             "lint {set foo 1\nbutton .zz -text hi\nproc ghost {} {}\nexit}");
+        let requests_after =
+          (Server.stats app.Tk.Core.conn).Server.total_requests
+        in
+        check_int "no X requests" requests_before requests_after;
+        check_string "no variable set" "0" (run app "info exists foo");
+        check_bool "no widget command created" false
+          (Tcl.Interp.command_exists app.Tk.Core.interp ".zz");
+        check_bool "no proc created" false
+          (Tcl.Interp.command_exists app.Tk.Core.interp "ghost");
+        (* And the interpreter still works normally afterwards. *)
+        check_string "interp alive" "4" (run app "expr 2+2") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime and lint share one source of truth for messages. *)
+
+let shared_message_tests =
+  [
+    ( "arity message matches the runtime word for word",
+      fun () ->
+        let _, app = fresh_app () in
+        let runtime = run_err app "set" in
+        match messages (lint app "set") with
+        | [ linted ] -> check_string "same message" runtime linted
+        | found ->
+          Alcotest.failf "expected one diagnostic, got: %s"
+            (String.concat " | " found) );
+    ( "wm subcommand message matches the runtime",
+      fun () ->
+        let _, app = fresh_app () in
+        let runtime = run_err app "wm titel . hi" in
+        match messages (lint app "wm titel . hi") with
+        | [ linted ] ->
+          (* Lint appends a "did you mean" hint; the prefix is the
+             runtime message verbatim. *)
+          check_bool
+            (Printf.sprintf "lint %S starts with runtime %S" linted runtime)
+            true
+            (String.length linted >= String.length runtime
+            && String.sub linted 0 (String.length runtime) = runtime)
+        | found ->
+          Alcotest.failf "expected one diagnostic, got: %s"
+            (String.concat " | " found) );
+    ( "winfo subcommand message matches the runtime",
+      fun () ->
+        let _, app = fresh_app () in
+        let runtime = run_err app "winfo hieght ." in
+        check_bool "runtime routed through the registry" true
+          (contains ~needle:"bad option \"hieght\": should be" runtime) );
+    ( "proc arity message matches the runtime",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore (run app "proc two {a b} {return $a}");
+        let runtime = run_err app "two 1" in
+        match messages (lint app "proc two {a b} {return $a}\ntwo 1") with
+        | [ linted ] -> check_string "same message" runtime linted
+        | found ->
+          Alcotest.failf "expected one diagnostic, got: %s"
+            (String.concat " | " found) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* info complete and the lint counters. *)
+
+let info_complete_tests =
+  [
+    ( "info complete on balanced script",
+      fun () ->
+        let _, app = fresh_app () in
+        check_string "complete" "1" (run app "info complete {puts hi}") );
+    ( "info complete on open brace",
+      fun () ->
+        let _, app = fresh_app () in
+        check_string "incomplete" "0" (run app "info complete \"proc f \\{\"") );
+    ( "info complete on open quote",
+      fun () ->
+        let _, app = fresh_app () in
+        check_string "incomplete" "0"
+          (run app "info complete {puts \"unclosed}") );
+  ]
+
+let metrics_tests =
+  [
+    ( "tcl.lint counters in the metrics registry",
+      fun () ->
+        let _, app = fresh_app () in
+        check_string "runs start at zero" "0"
+          (Option.get (Tk.Core.metric app "tcl.lint.runs"));
+        ignore (run app "lint {buton .b}");
+        ignore (run app "lint {set x 1}");
+        check_string "two runs" "2"
+          (Option.get (Tk.Core.metric app "tcl.lint.runs"));
+        check_string "one error" "1"
+          (Option.get (Tk.Core.metric app "tcl.lint.errors"));
+        check_string "xstat sees them" "2" (run app "xstat get tcl.lint.runs");
+        ignore (run app "xstat reset");
+        check_string "reset" "0" (run app "xstat get tcl.lint.runs") );
+  ]
+
+let () =
+  let wrap = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) in
+  Alcotest.run "lint"
+    [
+      ("seeded defects", wrap defect_tests);
+      ("clean corpus", wrap clean_tests);
+      ( "examples sweep",
+        wrap [ ("every examples/*.tcl lints clean", examples_sweep) ] );
+      ("lint command", wrap lint_command_tests);
+      ("non-execution", wrap non_execution_tests);
+      ("shared messages", wrap shared_message_tests);
+      ("info complete", wrap info_complete_tests);
+      ("metrics", wrap metrics_tests);
+    ]
