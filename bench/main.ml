@@ -372,6 +372,64 @@ let send_sweep () =
     (dt *. 1e6 /. float_of_int n)
 
 (* ------------------------------------------------------------------ *)
+(* The send-fabric crash storm: drive the deterministic harness at fleet
+   scale (1000 apps, 1% crash plan, 1% hung) twice and verify the two
+   runs produce identical counters — the reproducibility claim — then
+   report the outcome taxonomy and virtual-clock latency percentiles. *)
+
+let storm_config ~smoke =
+  if smoke then Tk.Sendstorm.default
+  else
+    {
+      Tk.Sendstorm.apps = 1000;
+      crash_percent = 1;
+      hang_percent = 1;
+      sends_per_app = 3;
+      mailbox_limit = 16;
+      timeout_ms = 200;
+      seed = 42;
+    }
+
+let storm_runs ~smoke =
+  let cfg = storm_config ~smoke in
+  let wall = ref 0.0 in
+  let r1 = ref None in
+  wall := time_wall (fun () -> r1 := Some (Tk.Sendstorm.run cfg));
+  let r1 = Option.get !r1 in
+  let r2 = Tk.Sendstorm.run cfg in
+  if not (Tk.Sendstorm.counters_equal r1 r2) then
+    failwith "send storm: two identical configs diverged (non-deterministic)";
+  (r1, !wall)
+
+let send_storm_section () =
+  section "Send fabric: 1000-app crash storm (deterministic, virtual clock)";
+  let r, wall = storm_runs ~smoke:false in
+  let cfg = r.Tk.Sendstorm.cfg in
+  Printf.printf
+    "  %d apps, %d%% crash plan, %d%% hung, mailbox %d, %d ms deadline\n"
+    cfg.Tk.Sendstorm.apps cfg.Tk.Sendstorm.crash_percent
+    cfg.Tk.Sendstorm.hang_percent cfg.Tk.Sendstorm.mailbox_limit
+    cfg.Tk.Sendstorm.timeout_ms;
+  Printf.printf "  %d sends resolved in %.2f s wall (two runs identical)\n"
+    r.Tk.Sendstorm.sends_issued wall;
+  Printf.printf "  outcomes:";
+  List.iter
+    (fun (state, n) -> Printf.printf " %s=%d" state n)
+    r.Tk.Sendstorm.outcomes;
+  print_newline ();
+  Printf.printf
+    "  crashes landed %d/%d, hung %d, unresolved futures %d\n"
+    r.Tk.Sendstorm.crashes_landed r.Tk.Sendstorm.crashes_planned
+    r.Tk.Sendstorm.hung r.Tk.Sendstorm.unresolved_futures;
+  Printf.printf
+    "  %.1f X requests per send; awaited-send latency p50 %.0f ms, p99 %.0f \
+     ms, max %.0f ms (virtual)\n"
+    r.Tk.Sendstorm.requests_per_send
+    (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 50.0)
+    (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 99.0)
+    (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 100.0)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations *)
 
 let rescache_ablation_case enabled =
@@ -732,6 +790,45 @@ let cache_hit_rate_workload () =
   let misses = Tk.Rescache.misses app.Tk.Core.cache in
   (hits, misses)
 
+let storm_json ~smoke =
+  let r, wall = storm_runs ~smoke in
+  let cfg = r.Tk.Sendstorm.cfg in
+  J_obj
+    [
+      ( "config",
+        J_obj
+          [
+            ("apps", J_int cfg.Tk.Sendstorm.apps);
+            ("crash_percent", J_int cfg.Tk.Sendstorm.crash_percent);
+            ("hang_percent", J_int cfg.Tk.Sendstorm.hang_percent);
+            ("sends_per_app", J_int cfg.Tk.Sendstorm.sends_per_app);
+            ("mailbox_limit", J_int cfg.Tk.Sendstorm.mailbox_limit);
+            ("timeout_ms", J_int cfg.Tk.Sendstorm.timeout_ms);
+            ("seed", J_int cfg.Tk.Sendstorm.seed);
+          ] );
+      ("deterministic", J_string "true");
+      ("wall_s", J_float wall);
+      ("sends_issued", J_int r.Tk.Sendstorm.sends_issued);
+      ( "outcomes",
+        J_obj
+          (List.map (fun (s, n) -> (s, J_int n)) r.Tk.Sendstorm.outcomes) );
+      ("crashes_planned", J_int r.Tk.Sendstorm.crashes_planned);
+      ("crashes_landed", J_int r.Tk.Sendstorm.crashes_landed);
+      ("hung", J_int r.Tk.Sendstorm.hung);
+      ("unresolved_futures", J_int r.Tk.Sendstorm.unresolved_futures);
+      ("requests_total", J_int r.Tk.Sendstorm.requests_total);
+      ("requests_per_send", J_float r.Tk.Sendstorm.requests_per_send);
+      ( "latency_ms_p50",
+        J_float (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 50.0) );
+      ( "latency_ms_p99",
+        J_float (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 99.0) );
+      ( "latency_ms_max",
+        J_float (Tk.Sendstorm.percentile r.Tk.Sendstorm.latencies_ms 100.0) );
+      ( "counters",
+        J_obj (List.map (fun (k, v) -> (k, J_int v)) r.Tk.Sendstorm.counters)
+      );
+    ]
+
 let emit_json ~path ~smoke =
   let quota = if smoke then Some 0.05 else None in
   let set_ns = bench_set_a_1 ?quota () in
@@ -783,7 +880,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 4);
+        ("pr", J_int 6);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -827,6 +924,7 @@ let emit_json ~path ~smoke =
             ] );
         ("widget_sweep", J_list sweep);
         ("scripts", J_list scripts);
+        ("send_storm", storm_json ~smoke);
         ( "counters",
           J_obj (List.map (fun (k, v) -> (k, json_of_counter v)) snapshot) );
       ]
@@ -849,6 +947,7 @@ let full_suite () =
   figure8 ();
   widget_sweep ();
   send_sweep ();
+  send_storm_section ();
   rescache_ablation ();
   structcache_ablation ();
   binding_ablation ();

@@ -33,7 +33,12 @@
    connection dies abruptly (as if the client was killed) the moment its
    request counter reaches N. The interpreter survives — every
    subsequent X request degrades gracefully — so scripts can verify the
-   failure story of a client outliving its display connection. *)
+   failure story of a client outliving its display connection.
+
+   The -mailbox N flag bounds the application's incoming-send mailbox
+   (default 64): a flood of send requests beyond N is refused with a
+   distinct overflow error to the sender instead of queueing without
+   limit. Scripts can read or adjust the bound with [send mailbox]. *)
 
 open Xsim
 
@@ -88,6 +93,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let no_cache = ref false in
   let lint = ref false in
+  let mailbox = ref 0 in
   let rec parse script name stay faults crash_at = function
     | [] -> (script, name, stay, faults, crash_at)
     | "-f" :: path :: rest -> parse (Some path) name stay faults crash_at rest
@@ -115,12 +121,20 @@ let () =
       | Some _ | None ->
         Printf.eprintf "wish: -crash-at expects a non-negative integer\n";
         exit 2)
+    | "-mailbox" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some limit when limit > 0 ->
+        mailbox := limit;
+        parse script name stay faults crash_at rest
+      | Some _ | None ->
+        Printf.eprintf "wish: -mailbox expects a positive integer\n";
+        exit 2)
     | path :: rest when script = None && Sys.file_exists path ->
       parse (Some path) name stay faults crash_at rest
     | arg :: _ ->
       Printf.eprintf
         "usage: wish ?-f script? ?-name appName? ?-stay? ?-lint? \
-         ?-faults n? ?-crash-at n? ?-no-compile-cache?\n";
+         ?-faults n? ?-crash-at n? ?-mailbox n? ?-no-compile-cache?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
@@ -144,6 +158,7 @@ let () =
      application has already consumed some of the budget — just as a real
      client crashes wherever in its life request N happens to fall. *)
   if crash_at > 0 then Server.set_crash_plan app.Tk.Core.conn ~at_request:crash_at;
+  if !mailbox > 0 then app.Tk.Core.send.Tk.Core.mailbox_limit <- !mailbox;
   if !no_cache then Tcl.Interp.set_compile_enabled app.Tk.Core.interp false;
   Sim_commands.install app;
   (* Make the command line available as $argv / $argc, as wish does. *)

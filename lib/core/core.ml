@@ -116,8 +116,10 @@ and app = {
   mutable error_handler : string -> unit;
   mutable configure_hooks : (widget -> unit) list;
   mutable pre_handlers : (app -> Event.delivery -> bool) list;
+  mutable drain_hooks : (unit -> int) list;
   mutable grab_path : string option;
   sel : sel_state;
+  send : send_state;
 }
 
 and binding = {
@@ -133,25 +135,71 @@ and sel_state = {
   mutable sel_pending : string option option;
 }
 
+and send_request = {
+  sq_serial : string;
+  sq_sender : Xid.t;
+  sq_mode : string; (* "call" (reply wanted) or "async" *)
+  sq_script : string;
+}
+
+and send_future = {
+  ft_target : string;
+  mutable ft_comm : Xid.t;
+  ft_serial : string;
+  ft_deadline : int; (* ms on the sender's dispatcher clock *)
+  (* None while pending; Some (state, value) with state one of
+     ok/error/died/timeout/overflow once resolved. *)
+  mutable ft_state : (string * string) option;
+}
+
+and send_state = {
+  mailbox : send_request Queue.t;
+  mutable mailbox_limit : int;
+  mutable self_fast_path : bool;
+  futures : (string, send_future) Hashtbl.t;
+  mutable future_serial : int;
+  mutable send_rng : int; (* deterministic backoff-jitter state *)
+}
+
 (* ------------------------------------------------------------------ *)
 (* Local application registry (in-process "display clients") *)
 
-let registries : (Server.t * app list ref) list ref = ref []
+type display_clients = {
+  mutable dc_apps : app list;
+  dc_by_comm : (Xid.t, app) Hashtbl.t;
+}
 
-let registry_for server =
+let registries : (Server.t * display_clients) list ref = ref []
+
+let clients_for server =
   match List.find_opt (fun (s, _) -> s == server) !registries with
-  | Some (_, apps) -> apps
+  | Some (_, dc) -> dc
   | None ->
-    let apps = ref [] in
-    registries := (server, apps) :: !registries;
-    apps
+    let dc = { dc_apps = []; dc_by_comm = Hashtbl.create 64 } in
+    registries := (server, dc) :: !registries;
+    dc
 
-let local_apps server = !(registry_for server)
+let local_apps server = (clients_for server).dc_apps
 
 let app_of_comm server comm =
-  List.find_opt (fun app -> app.comm_win = comm) (local_apps server)
+  Hashtbl.find_opt (clients_for server).dc_by_comm comm
 
-let registry_property = "TK_REGISTRY"
+(* The display registry is sharded over a fixed set of root-window
+   properties keyed by a hash of the application name, so a single-name
+   lookup reads one shard (O(1) at 1000 registered interps) instead of
+   scanning one monolithic property. *)
+let registry_shards = 32
+
+let registry_shard_property k = Printf.sprintf "TK_REGISTRY_S%02d" k
+
+let shard_of_name name =
+  (* FNV-1a, masked to stay in positive fixnum range: deterministic
+     across runs and architectures. *)
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h mod registry_shards
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation *)
@@ -172,6 +220,117 @@ let () =
   Tcl.Interp.add_exn_translator (function
     | Xerror.X_error e -> Some (Xerror.describe e)
     | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Display registry (paper §6): name -> communication window, sharded *)
+
+(* A registry entry is live iff its communication window still exists: a
+   crashed peer's windows were reaped by the server, so its entry is a
+   ghost. Every accessor prunes ghosts, so [winfo interps] never lists a
+   dead interpreter and stale entries don't linger until a send to them
+   happens to fail. *)
+let registry_entry_live app (_, xid) =
+  match Server.lookup_window app.server xid with
+  | Some w -> not w.Window.destroyed
+  | None -> false
+
+let parse_registry_entries data =
+  match Tcl.Tcl_list.parse data with
+  | Error _ -> []
+  | Ok entries ->
+    List.filter_map
+      (fun e ->
+        match Tcl.Tcl_list.parse e with
+        | Ok [ name; xid ] ->
+          Option.map (fun id -> (name, id)) (int_of_string_opt xid)
+        | _ -> None)
+      entries
+
+let write_registry_shard app k entries =
+  let entries = List.filter (registry_entry_live app) entries in
+  absorb app ~default:() @@ fun () ->
+  let root = Server.root app.server in
+  let prop = Server.intern_atom app.conn (registry_shard_property k) in
+  Server.change_property app.conn root ~prop ~ptype:Atom.string
+    (Tcl.Tcl_list.format
+       (List.map
+          (fun (name, xid) -> Tcl.Tcl_list.format [ name; string_of_int xid ])
+          entries))
+
+let read_registry_shard app k =
+  let entries =
+    absorb app ~default:[] @@ fun () ->
+    let root = Server.root app.server in
+    let prop = Server.intern_atom app.conn (registry_shard_property k) in
+    match Server.get_property app.conn root ~prop with
+    | None -> []
+    | Some p -> parse_registry_entries p.Window.prop_data
+  in
+  let live = List.filter (registry_entry_live app) entries in
+  (* Garbage-collect: rewrite the shard without the ghosts. *)
+  let ghosts = List.length entries - List.length live in
+  if ghosts > 0 then begin
+    app.metrics.Metrics.ghosts_collected <-
+      app.metrics.Metrics.ghosts_collected + ghosts;
+    write_registry_shard app k live
+  end;
+  live
+
+let lookup_registry app name =
+  List.assoc_opt name (read_registry_shard app (shard_of_name name))
+
+(* The send hot path: one shard read, no liveness pings — O(1) requests
+   per lookup regardless of fleet size.  The entry may be stale (the peer
+   crashed without cleanup); callers find that out when posting to the
+   dead window fails, then fall back to the pinging {!lookup_registry}
+   which garbage-collects the ghost. *)
+let lookup_registry_raw app name =
+  let entries =
+    absorb app ~default:[] @@ fun () ->
+    let root = Server.root app.server in
+    let prop =
+      Server.intern_atom app.conn (registry_shard_property (shard_of_name name))
+    in
+    match Server.get_property app.conn root ~prop with
+    | None -> []
+    | Some p -> parse_registry_entries p.Window.prop_data
+  in
+  List.assoc_opt name entries
+
+let read_registry app =
+  let rec shards k acc =
+    if k >= registry_shards then acc
+    else shards (k + 1) (acc @ read_registry_shard app k)
+  in
+  (* Sorted-stable: the aggregate order is by name, independent of shard
+     layout and registration order. *)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (shards 0 [])
+
+let write_registry app entries =
+  let buckets = Array.make registry_shards [] in
+  List.iter
+    (fun (name, xid) ->
+      let k = shard_of_name name in
+      buckets.(k) <- buckets.(k) @ [ (name, xid) ])
+    entries;
+  Array.iteri (fun k bucket -> write_registry_shard app k bucket) buckets
+
+let register_name app ~name ~comm =
+  (* Make the name unique on the display, probing only the candidate's
+     own shard each time (O(1) per probe). *)
+  let taken candidate = lookup_registry app candidate <> None in
+  let unique =
+    if not (taken name) then name
+    else
+      let rec try_n n =
+        let candidate = Printf.sprintf "%s #%d" name n in
+        if taken candidate then try_n (n + 1) else candidate
+      in
+      try_n 2
+  in
+  let k = shard_of_name unique in
+  write_registry_shard app k (read_registry_shard app k @ [ (unique, comm) ]);
+  unique
 
 (* ------------------------------------------------------------------ *)
 (* Widget lookup *)
@@ -783,29 +942,15 @@ let destroy_hooks : (app -> unit) list ref = ref []
 let add_destroy_hook f = destroy_hooks := f :: !destroy_hooks
 
 let unregister_app app =
-  let apps = registry_for app.server in
-  apps := List.filter (fun a -> a != app) !apps;
-  (* Remove our name from the display registry property. *)
-  absorb app ~default:() @@ fun () ->
-  let root = Server.root app.server in
-  match Server.get_property app.conn root ~prop:(Server.intern_atom app.conn registry_property) with
-  | None -> ()
-  | Some p -> (
-    match Tcl.Tcl_list.parse p.Window.prop_data with
-    | Error _ -> ()
-    | Ok entries ->
-      let keep =
-        List.filter
-          (fun e ->
-            match Tcl.Tcl_list.parse e with
-            | Ok [ name; _ ] -> name <> app.app_name
-            | _ -> true)
-          entries
-      in
-      Server.change_property app.conn root
-        ~prop:(Server.intern_atom app.conn registry_property)
-        ~ptype:Atom.string
-        (Tcl.Tcl_list.format keep))
+  let dc = clients_for app.server in
+  dc.dc_apps <- List.filter (fun a -> a != app) dc.dc_apps;
+  Hashtbl.remove dc.dc_by_comm app.comm_win;
+  (* Remove our name from its registry shard. *)
+  let k = shard_of_name app.app_name in
+  write_registry_shard app k
+    (List.filter
+       (fun (name, _) -> name <> app.app_name)
+       (read_registry_shard app k))
 
 let destroy_app app =
   if not app.app_destroyed then begin
@@ -960,10 +1105,19 @@ let process_pending app =
 
 let update app =
   let rec go guard =
-    let n = process_pending app in
-    let timers = Dispatch.run_due_timers app.disp in
-    let idles = Dispatch.run_idle app.disp in
-    if n + timers + idles > 0 && guard > 0 then go (guard - 1)
+    if app.app_destroyed then ()
+    else begin
+      let n = process_pending app in
+      (* Deferred work queued by protocol modules (the send mailbox):
+         drained here, from the event loop, never re-entrantly from the
+         middle of an X event handler. *)
+      let drained =
+        List.fold_left (fun acc drain -> acc + drain ()) 0 app.drain_hooks
+      in
+      let timers = Dispatch.run_due_timers app.disp in
+      let idles = Dispatch.run_idle app.disp in
+      if n + drained + timers + idles > 0 && guard > 0 then go (guard - 1)
+    end
   in
   go 1000
 
@@ -989,6 +1143,7 @@ let metrics_snapshot app =
     ("rescache_fallbacks", string_of_int (Rescache.fallbacks app.cache));
   ]
   @ Metrics.to_list app.metrics
+  @ Metrics.send_to_list app.metrics
   @ [
       ("timers_fired", string_of_int d.Dispatch.timers_fired);
       ("idles_run", string_of_int d.Dispatch.idles_run);
@@ -1118,61 +1273,6 @@ let container_class ~name =
 (* ------------------------------------------------------------------ *)
 (* Application creation *)
 
-(* A registry entry is live iff its communication window still exists: a
-   crashed peer's windows were reaped by the server, so its entry is a
-   ghost. Both registry accessors prune ghosts, so [winfo interps] never
-   lists a dead interpreter and stale entries don't linger until a send
-   to them happens to fail. *)
-let registry_entry_live app (_, xid) =
-  match Server.lookup_window app.server xid with
-  | Some w -> not w.Window.destroyed
-  | None -> false
-
-let write_registry app entries =
-  let entries = List.filter (registry_entry_live app) entries in
-  absorb app ~default:() @@ fun () ->
-  let root = Server.root app.server in
-  let prop = Server.intern_atom app.conn registry_property in
-  Server.change_property app.conn root ~prop ~ptype:Atom.string
-    (Tcl.Tcl_list.format
-       (List.map
-          (fun (name, xid) ->
-            Tcl.Tcl_list.format [ name; string_of_int xid ])
-          entries))
-
-let read_registry app =
-  let entries =
-    absorb app ~default:[] @@ fun () ->
-    let root = Server.root app.server in
-    let prop = Server.intern_atom app.conn registry_property in
-    match Server.get_property app.conn root ~prop with
-    | None -> []
-    | Some p -> (
-      match Tcl.Tcl_list.parse p.Window.prop_data with
-      | Error _ -> []
-      | Ok entries ->
-        List.filter_map
-          (fun e ->
-            match Tcl.Tcl_list.parse e with
-            | Ok [ name; xid ] ->
-              Option.map (fun id -> (name, id)) (int_of_string_opt xid)
-            | _ -> None)
-          entries)
-  in
-  let live = List.filter (registry_entry_live app) entries in
-  (* Garbage-collect: rewrite the property without the ghosts. *)
-  if List.length live <> List.length entries then write_registry app live;
-  live
-
-let unique_name taken base =
-  if not (List.mem base taken) then base
-  else
-    let rec try_n n =
-      let candidate = Printf.sprintf "%s #%d" base n in
-      if List.mem candidate taken then try_n (n + 1) else candidate
-    in
-    try_n 2
-
 let create_app ?(app_class = "Tk") ~server ~name () =
   let conn = Server.connect server ~name in
   let interp = Tcl.Builtins.new_interp () in
@@ -1210,6 +1310,7 @@ let create_app ?(app_class = "Tk") ~server ~name () =
         (fun msg -> prerr_endline ("tk background error: " ^ msg));
       configure_hooks = [];
       pre_handlers = [];
+      drain_hooks = [];
       grab_path = None;
       sel =
         {
@@ -1218,19 +1319,28 @@ let create_app ?(app_class = "Tk") ~server ~name () =
           sel_tcl_handler = None;
           sel_pending = None;
         };
+      send =
+        {
+          mailbox = Queue.create ();
+          mailbox_limit = 64;
+          self_fast_path = true;
+          futures = Hashtbl.create 8;
+          future_serial = 0;
+          (* Seed the backoff jitter from the connection id: deterministic
+             per app, independent of wall-clock time. *)
+          send_rng = (Server.connection_id conn * 2654435761) land 0x3FFFFFFF;
+        };
     }
   in
   (* The [time] command reads the dispatcher's pluggable clock, so under
      a virtual clock it agrees with [after]. *)
   Tcl.Interp.set_time_source interp
     (Some (fun () -> Dispatch.clock_seconds app.disp));
-  (* Register a unique application name on the display (paper §6). *)
-  let registry = read_registry app in
-  let name = unique_name (List.map fst registry) name in
-  app.app_name <- name;
-  write_registry app (registry @ [ (name, comm_win) ]);
-  let apps = registry_for server in
-  apps := !apps @ [ app ];
+  (* Register a unique application name in its registry shard (paper §6). *)
+  app.app_name <- register_name app ~name ~comm:comm_win;
+  let dc = clients_for server in
+  dc.dc_apps <- dc.dc_apps @ [ app ];
+  Hashtbl.replace dc.dc_by_comm comm_win app;
   (* Background errors (bindings, timers, file handlers) go to a
      user-redefinable Tcl procedure: [tkerror] (the paper-era name) when
      defined, else [bgerror] (its later spelling), else stderr. The event
@@ -1259,7 +1369,7 @@ let create_app ?(app_class = "Tk") ~server ~name () =
   let main =
     make_widget app ~path:"." (container_class ~name:app_class) ~args:[]
   in
-  let idx = List.length !apps - 1 in
+  let idx = List.length dc.dc_apps - 1 in
   let root_w = (Server.root_window server).Window.width in
   let x = idx * 340 mod max 340 root_w
   and y = idx * 340 / max 340 root_w * 300 in

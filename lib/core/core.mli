@@ -122,10 +122,15 @@ and app = {
   mutable pre_handlers : (app -> Event.delivery -> bool) list;
       (** protocol modules (send, selection) intercept events; [true] =
           consumed *)
+  mutable drain_hooks : (unit -> int) list;
+      (** deferred-work queues ({!update} runs these each sweep; the send
+          mailbox drains here, never re-entrantly from an event handler);
+          each returns the number of items processed *)
   mutable grab_path : string option;
       (** while set, pointer events outside this subtree are discarded
           (the [grab] command — modal dialogs and menus) *)
   sel : sel_state;
+  send : send_state;  (** send-fabric state (mailbox, futures, policies) *)
 }
 
 and binding = {
@@ -140,6 +145,38 @@ and sel_state = {
   mutable sel_tcl_handler : string option;
   mutable sel_pending : string option option;
       (** in-flight [selection get]: None = waiting *)
+}
+
+and send_request = {
+  sq_serial : string;
+  sq_sender : Xid.t;  (** sender's communication window (reply address) *)
+  sq_mode : string;  (** ["call"] (reply wanted) or ["async"] *)
+  sq_script : string;
+}
+(** One incoming [send] request, parked in the receiver's mailbox until
+    the event loop drains it. *)
+
+and send_future = {
+  ft_target : string;
+  mutable ft_comm : Xid.t;
+  ft_serial : string;
+  ft_deadline : int;  (** ms on the sender's dispatcher clock *)
+  mutable ft_state : (string * string) option;
+      (** [None] while pending; [Some (state, value)] with state one of
+          ok/error/died/timeout/overflow once resolved *)
+}
+(** An outstanding [send -future] handle. *)
+
+and send_state = {
+  mailbox : send_request Queue.t;
+  mutable mailbox_limit : int;
+      (** bound on queued requests; beyond it new requests are refused
+          with an overflow reply *)
+  mutable self_fast_path : bool;
+      (** evaluate self-sends directly instead of over the wire *)
+  futures : (string, send_future) Hashtbl.t;  (** handle -> future *)
+  mutable future_serial : int;
+  mutable send_rng : int;  (** deterministic backoff-jitter state *)
 }
 
 (** {1 Application lifecycle} *)
@@ -315,18 +352,47 @@ val set_focus : app -> string option -> unit
 (** Tk-level focus (paper §3.7): keystrokes anywhere in the application are
     redirected to this widget. *)
 
-val registry_property : string
-(** Name of the root-window property that registers application names
-    (paper §6). *)
+(** {1 The application registry (paper §6, sharded)}
+
+    Application names live in a fixed set of root-window properties
+    ([TK_REGISTRY_S00] … [TK_REGISTRY_S31]) keyed by a hash of the name,
+    so a single-name lookup reads one shard — O(1) even with 1000
+    registered interpreters — instead of scanning one monolithic
+    property. Every read and write garbage-collects {e ghosts}: entries
+    whose communication window no longer exists because the peer crashed
+    without cleanup. *)
+
+val registry_shards : int
+(** Number of shard properties (fixed; part of the wire format). *)
+
+val registry_shard_property : int -> string
+(** Name of the [k]-th shard's root-window property. *)
+
+val shard_of_name : string -> int
+(** Which shard a name hashes to (FNV-1a; deterministic across runs). *)
+
+val lookup_registry : app -> string -> Xid.t option
+(** Communication window registered under [name], reading (and
+    ghost-collecting) only the one shard the name hashes to. *)
+
+val lookup_registry_raw : app -> string -> Xid.t option
+(** Like {!lookup_registry} but without liveness pings or garbage
+    collection — one property read, O(1) requests at any fleet size. The
+    result may be stale; [send] discovers that when posting fails and
+    only then pays for the pinging lookup. *)
+
+val register_name : app -> name:string -> comm:Xid.t -> string
+(** Register the application under [name], probing [name #2], [name #3]…
+    until unique on the display; returns the name actually registered. *)
 
 val read_registry : app -> (string * Xid.t) list
-(** Parse the display's application registry. Entries whose communication
-    window no longer exists (the peer crashed without cleanup) are pruned
-    — dropped from the result and garbage-collected out of the
-    root-window property — so [winfo interps] never lists ghosts. *)
+(** The whole registry (all shards), sorted by name — the aggregate
+    order is stable under shard layout and registration order. Ghost
+    entries are pruned from the result and garbage-collected out of
+    their shard property, so [winfo interps] never lists ghosts. *)
 
 val write_registry : app -> (string * Xid.t) list -> unit
-(** Replace the display's application registry. Ghost entries (dead
-    communication windows) are filtered out before writing; robustness
-    tests that need a genuinely stale entry must forge the raw property
-    with {!Xsim.Server.change_property}. *)
+(** Replace the whole registry, rebucketing entries into their shards.
+    Ghost entries (dead communication windows) are filtered out before
+    writing; robustness tests that need a genuinely stale entry must
+    forge the raw shard property with {!Xsim.Server.change_property}. *)

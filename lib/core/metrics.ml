@@ -4,6 +4,26 @@ type t = {
   mutable redraws_drawn : int;
   mutable redraws_skipped_dead : int;
   mutable binding_dispatches : int;
+  (* The send fabric ("tk.send." counters): sender-side outcomes ... *)
+  mutable sends : int;
+  mutable sends_ok : int;
+  mutable sends_error : int;
+  mutable sends_self : int;
+  mutable sends_async : int;
+  mutable sends_broadcast : int;
+  mutable send_retries : int;
+  mutable send_overflows : int;
+  mutable send_died : int;
+  mutable send_timeouts : int;
+  mutable futures_created : int;
+  mutable futures_resolved : int;
+  (* ... receiver-side mailbox accounting ... *)
+  mutable mailbox_enqueued : int;
+  mutable mailbox_drained : int;
+  mutable mailbox_rejected : int;
+  mutable mailbox_high_water : int;
+  (* ... and registry hygiene. *)
+  mutable ghosts_collected : int;
 }
 
 let create () =
@@ -13,6 +33,23 @@ let create () =
     redraws_drawn = 0;
     redraws_skipped_dead = 0;
     binding_dispatches = 0;
+    sends = 0;
+    sends_ok = 0;
+    sends_error = 0;
+    sends_self = 0;
+    sends_async = 0;
+    sends_broadcast = 0;
+    send_retries = 0;
+    send_overflows = 0;
+    send_died = 0;
+    send_timeouts = 0;
+    futures_created = 0;
+    futures_resolved = 0;
+    mailbox_enqueued = 0;
+    mailbox_drained = 0;
+    mailbox_rejected = 0;
+    mailbox_high_water = 0;
+    ghosts_collected = 0;
   }
 
 let reset t =
@@ -20,7 +57,24 @@ let reset t =
   t.redraws_collapsed <- 0;
   t.redraws_drawn <- 0;
   t.redraws_skipped_dead <- 0;
-  t.binding_dispatches <- 0
+  t.binding_dispatches <- 0;
+  t.sends <- 0;
+  t.sends_ok <- 0;
+  t.sends_error <- 0;
+  t.sends_self <- 0;
+  t.sends_async <- 0;
+  t.sends_broadcast <- 0;
+  t.send_retries <- 0;
+  t.send_overflows <- 0;
+  t.send_died <- 0;
+  t.send_timeouts <- 0;
+  t.futures_created <- 0;
+  t.futures_resolved <- 0;
+  t.mailbox_enqueued <- 0;
+  t.mailbox_drained <- 0;
+  t.mailbox_rejected <- 0;
+  t.mailbox_high_water <- 0;
+  t.ghosts_collected <- 0
 
 let to_list t =
   [
@@ -29,4 +83,25 @@ let to_list t =
     ("redraws_drawn", string_of_int t.redraws_drawn);
     ("redraws_skipped_dead", string_of_int t.redraws_skipped_dead);
     ("binding_dispatches", string_of_int t.binding_dispatches);
+  ]
+
+let send_to_list t =
+  [
+    ("tk.send.sends", string_of_int t.sends);
+    ("tk.send.ok", string_of_int t.sends_ok);
+    ("tk.send.errors", string_of_int t.sends_error);
+    ("tk.send.self_fast_path", string_of_int t.sends_self);
+    ("tk.send.async", string_of_int t.sends_async);
+    ("tk.send.broadcasts", string_of_int t.sends_broadcast);
+    ("tk.send.retries", string_of_int t.send_retries);
+    ("tk.send.overflows", string_of_int t.send_overflows);
+    ("tk.send.died", string_of_int t.send_died);
+    ("tk.send.timeouts", string_of_int t.send_timeouts);
+    ("tk.send.futures_created", string_of_int t.futures_created);
+    ("tk.send.futures_resolved", string_of_int t.futures_resolved);
+    ("tk.send.mailbox_enqueued", string_of_int t.mailbox_enqueued);
+    ("tk.send.mailbox_drained", string_of_int t.mailbox_drained);
+    ("tk.send.mailbox_rejected", string_of_int t.mailbox_rejected);
+    ("tk.send.mailbox_depth_high_water", string_of_int t.mailbox_high_water);
+    ("tk.send.ghosts_collected", string_of_int t.ghosts_collected);
   ]

@@ -3,9 +3,11 @@
     One instance lives on each {!Core.app}; the intrinsics bump it from
     the hot paths the paper's evaluation cares about — redraw coalescing
     (how many repaints the [redraw_pending] flag collapsed, §3.2's
-    idle-time redisplay) and binding dispatch. Together with the server
-    request {!Xsim.Server.stats}, the {!Rescache} hit/miss counters and
-    the {!Dispatch.counters}, these form the registry that
+    idle-time redisplay), binding dispatch, and the send fabric (§6 at
+    fleet scale: per-outcome send counters, mailbox backpressure, registry
+    ghost collection). Together with the server request
+    {!Xsim.Server.stats}, the {!Rescache} hit/miss counters and the
+    {!Dispatch.counters}, these form the registry that
     [Core.metrics_snapshot] (and the [xstat] Tcl command) expose. *)
 
 type t = {
@@ -18,6 +20,25 @@ type t = {
       (** scheduled redraws dropped because the widget was destroyed
           between scheduling and the idle sweep *)
   mutable binding_dispatches : int;  (** binding scripts dispatched *)
+  mutable sends : int;  (** send requests issued (all variants) *)
+  mutable sends_ok : int;  (** sends that resolved [ok] *)
+  mutable sends_error : int;  (** remote script raised a Tcl error *)
+  mutable sends_self : int;  (** self-sends taken on the fast path *)
+  mutable sends_async : int;  (** fire-and-forget sends posted *)
+  mutable sends_broadcast : int;  (** broadcast/multicast operations *)
+  mutable send_retries : int;  (** reposts after a mailbox overflow *)
+  mutable send_overflows : int;  (** sends that resolved [overflow] *)
+  mutable send_died : int;  (** sends that resolved [died] *)
+  mutable send_timeouts : int;  (** sends that resolved [timed-out] *)
+  mutable futures_created : int;
+  mutable futures_resolved : int;
+  mutable mailbox_enqueued : int;  (** incoming requests accepted *)
+  mutable mailbox_drained : int;  (** requests evaluated from the mailbox *)
+  mutable mailbox_rejected : int;
+      (** incoming requests refused because the mailbox was full *)
+  mutable mailbox_high_water : int;  (** deepest the mailbox has been *)
+  mutable ghosts_collected : int;
+      (** stale registry entries garbage-collected *)
 }
 
 val create : unit -> t
@@ -26,3 +47,6 @@ val reset : t -> unit
 
 val to_list : t -> (string * string) list
 (** Counter name/value pairs, values rendered as decimal strings. *)
+
+val send_to_list : t -> (string * string) list
+(** The send-fabric counters, already prefixed [tk.send.*]. *)

@@ -1,0 +1,58 @@
+(** Deterministic fleet-scale crash-storm harness for the send fabric.
+
+    One {!run} builds a fleet of applications on a fresh simulated
+    display, puts every dispatcher on one shared virtual clock, arms
+    seeded crash plans on a subset of connections ({!config.crash_percent}),
+    makes a subset deaf ({!config.hang_percent} — alive but never
+    answering, the timeout case, distinct from died), then drives a
+    seeded mix of synchronous, retrying, asynchronous, future and
+    broadcast sends through the fleet and tallies how every send
+    resolved.
+
+    Everything random is drawn from one seeded linear-congruential
+    stream and all timing runs on the virtual clock, so a config
+    reproduces exactly: same crash points, same outcomes, same
+    [tk.send.*] counters, run after run ({!counters_equal} is the
+    acceptance check the tests and the bench both use). *)
+
+type config = {
+  apps : int;
+  crash_percent : int;  (** % of apps armed with a crash plan *)
+  hang_percent : int;  (** % of apps made deaf (alive, never answering) *)
+  sends_per_app : int;  (** storm rounds: one send per live app per round *)
+  mailbox_limit : int;  (** receiver backpressure bound *)
+  timeout_ms : int;  (** per-send deadline on the virtual clock *)
+  seed : int;
+}
+
+val default : config
+(** 50 apps, 2% crash plan, 2% hung, 3 rounds, mailbox 16, 200 ms — the
+    CI smoke configuration. *)
+
+type report = {
+  cfg : config;
+  outcomes : (string * int) list;
+      (** terminal state -> count, sorted; states are [ok]/[error]/
+          [died]/[timeout]/[overflow] plus [sender-crashed] (the sender's
+          own crash plan fired mid-send). [lost] never appears: that
+          would be a future that vanished unresolved. *)
+  sends_issued : int;  (** aggregated [tk.send.sends] *)
+  skipped_dead_senders : int;
+  unresolved_futures : int;  (** must be 0 after the resolution phase *)
+  crashes_planned : int;
+  crashes_landed : int;
+  hung : int;
+  counters : (string * int) list;  (** aggregated [tk.send.*], sorted *)
+  requests_total : int;  (** X requests issued by the whole storm *)
+  requests_per_send : float;
+  latencies_ms : int array;  (** virtual ms per awaited send, sorted *)
+}
+
+val run : config -> report
+
+val percentile : int array -> float -> float
+(** [percentile sorted p] with [p] in [0..100] (e.g. 50.0, 99.0). *)
+
+val counters_equal : report -> report -> bool
+(** Same aggregated counters and outcome tallies — the determinism
+    acceptance check. *)

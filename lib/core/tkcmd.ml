@@ -523,5 +523,8 @@ let install app =
             sub "handle" 2 ~max:2;
             sub "own" 0 ~max:1;
           ];
-      sg "send" 2 ~usage:"send appName arg ?arg ...?";
+      sg "send" 1
+        ~usage:
+          "send ?-async? ?-future? ?-retry? ?-timeout ms? ?-all? ?-glob \
+           pattern? ?--? ?appName? arg ?arg ...?";
     ]

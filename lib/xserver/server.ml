@@ -627,6 +627,19 @@ let change_property conn id ~prop ~ptype data =
     { Window.prop_type = ptype; prop_data = data };
   notify_property t w ~prop_atom:prop ~deleted:false
 
+let append_property conn id ~prop ~ptype data =
+  request ~resource:id conn Property;
+  let t = conn.server in
+  let w = window_exn conn id in
+  let merged =
+    match Hashtbl.find_opt w.Window.properties prop with
+    | Some existing -> existing.Window.prop_data ^ data
+    | None -> data
+  in
+  Hashtbl.replace w.Window.properties prop
+    { Window.prop_type = ptype; prop_data = merged };
+  notify_property t w ~prop_atom:prop ~deleted:false
+
 let get_property conn id ~prop =
   request ~round_trip:true conn Property;
   match lookup_window conn.server id with

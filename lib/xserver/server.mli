@@ -239,6 +239,13 @@ val change_property :
 (** Set a property; [Property_notify] goes to the window's owner and to
     registered listeners. *)
 
+val append_property :
+  connection -> Xid.t -> prop:Atom.t -> ptype:Atom.t -> string -> unit
+(** X's [PropModeAppend]: atomically append [data] to the property's
+    current contents (creating it when absent). This is how Tk's [send]
+    posts requests — appends never overwrite an unread predecessor, so
+    bursts from many senders queue up losslessly on the wire. *)
+
 val get_property : connection -> Xid.t -> prop:Atom.t -> Window.prop option
 (** Round trip. *)
 

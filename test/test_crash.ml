@@ -231,11 +231,14 @@ let registry_tests =
       fun () ->
         let _server, a, _b = fresh_pair () in
         (* Bypass write_registry's filtering: append a ghost entry to the
-           raw root-window property, as a crashed-without-cleanup peer
-           would leave behind. *)
+           raw root-window shard property "ghost" hashes to, as a
+           crashed-without-cleanup peer would leave behind. *)
         let conn = a.Tk.Core.conn in
         let root = Server.root a.Tk.Core.server in
-        let prop = Server.intern_atom conn Tk.Core.registry_property in
+        let prop =
+          Server.intern_atom conn
+            (Tk.Core.registry_shard_property (Tk.Core.shard_of_name "ghost"))
+        in
         let raw =
           match Server.get_property conn root ~prop with
           | Some p -> p.Window.prop_data
