@@ -197,6 +197,82 @@ let bench_send_empty ?quota () =
   let stats = Server.stats alpha.Tk.Core.conn in
   (ns, stats.Server.total_requests, stats.Server.round_trips)
 
+(* Interp isolation costs (PR7): slave lifecycle, an alias round trip
+   through the master, and the guard-gate ablation — "set a 1" with no
+   limits armed vs with a command budget and a ticking limit clock
+   armed.  The disarmed gate is a single flag test per command; the
+   armed path (budget decrement + clock read) is what guarded sends
+   pay.  Acceptance: armed overhead on set_a_1 within a few percent. *)
+
+type interp_bench = {
+  ib_create_delete_ns : float;
+  ib_alias_ns : float;
+  ib_guard_off_ns : float;
+  ib_guard_on_ns : float;
+}
+
+let bench_interp ?quota () =
+  let master = Tcl.Builtins.new_interp () in
+  let n = ref 0 in
+  let ib_create_delete_ns =
+    measure_ns ?quota "interp create+delete" (fun () ->
+        incr n;
+        let name = Printf.sprintf "s%d" !n in
+        ignore (Tcl.Interp.eval master ("interp create " ^ name));
+        ignore (Tcl.Interp.eval master ("interp delete " ^ name)))
+  in
+  ignore (Tcl.Interp.eval master "interp create worker");
+  ignore (Tcl.Interp.eval master "proc relay {x} {return $x}");
+  ignore (Tcl.Interp.eval master "interp alias worker ping {} relay pong");
+  let ib_alias_ns =
+    measure_ns ?quota "alias round trip" (fun () ->
+        ignore (Tcl.Interp.eval master "interp eval worker ping"))
+  in
+  (* Ablation: identical workload, guard disarmed vs armed.  The armed
+     interp gets a practically-infinite command budget and a counter
+     clock, so nothing ever trips — this measures the checks alone.
+     A throwaway measurement first, so neither side pays the warm-up,
+     and a floor on the quota: at the smoke quota the two ~500ns
+     numbers are pure noise and the overhead ratio is meaningless. *)
+  let abl_quota = Some (Float.max 0.3 (Option.value quota ~default:0.5)) in
+  let warmup = Tcl.Builtins.new_interp () in
+  ignore
+    (measure_ns ?quota:abl_quota "warmup" (fun () ->
+         ignore (Tcl.Interp.eval warmup "set a 1")));
+  let plain = Tcl.Builtins.new_interp () in
+  let ib_guard_off_ns =
+    measure_ns ?quota:abl_quota "set a 1 (guard off)" (fun () ->
+        ignore (Tcl.Interp.eval plain "set a 1"))
+  in
+  let armed = Tcl.Builtins.new_interp () in
+  let ticks = ref 0 in
+  Tcl.Interp.set_limit_clock armed
+    (Some
+       (fun () ->
+         incr ticks;
+         !ticks));
+  Tcl.Interp.set_command_limit armed max_int;
+  Tcl.Interp.set_time_limit armed (max_int / 2);
+  let ib_guard_on_ns =
+    measure_ns ?quota:abl_quota "set a 1 (guard armed)" (fun () ->
+        ignore (Tcl.Interp.eval armed "set a 1"))
+  in
+  { ib_create_delete_ns; ib_alias_ns; ib_guard_off_ns; ib_guard_on_ns }
+
+let interp_section () =
+  section "Interp isolation: slave costs and the guard-gate ablation";
+  let b = bench_interp () in
+  Printf.printf "%-32s %9.2f us\n" "interp create+delete"
+    (b.ib_create_delete_ns /. 1e3);
+  Printf.printf "%-32s %9.2f us\n" "alias round trip (slave->master)"
+    (b.ib_alias_ns /. 1e3);
+  Printf.printf "%-32s %9.2f us\n" "set a 1, guard disarmed"
+    (b.ib_guard_off_ns /. 1e3);
+  Printf.printf "%-32s %9.2f us\n" "set a 1, limits armed"
+    (b.ib_guard_on_ns /. 1e3);
+  Printf.printf "  armed-guard overhead: %+.1f%%\n"
+    ((b.ib_guard_on_ns /. Float.max 1e-9 b.ib_guard_off_ns -. 1.0) *. 100.0)
+
 let create_destroy_buttons app n =
   let buf = Buffer.create 256 in
   for i = 0 to n - 1 do
@@ -381,6 +457,7 @@ let storm_config ~smoke =
   if smoke then Tk.Sendstorm.default
   else
     {
+      Tk.Sendstorm.default with
       Tk.Sendstorm.apps = 1000;
       crash_percent = 1;
       hang_percent = 1;
@@ -842,6 +919,7 @@ let emit_json ~path ~smoke =
   let hits, misses = cache_hit_rate_workload () in
   let abl_on = rescache_ablation_case true in
   let abl_off = rescache_ablation_case false in
+  let ib = bench_interp ?quota () in
   let scripts =
     List.map
       (fun c ->
@@ -880,7 +958,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 6);
+        ("pr", J_int 7);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -922,6 +1000,20 @@ let emit_json ~path ~smoke =
               ("ablation_allocs_cache_on", J_int abl_on);
               ("ablation_allocs_cache_off", J_int abl_off);
             ] );
+        ( "interp",
+          J_obj
+            [
+              ("create_delete_ns", J_float ib.ib_create_delete_ns);
+              ("alias_roundtrip_ns", J_float ib.ib_alias_ns);
+              ("set_a_1_guard_off_ns", J_float ib.ib_guard_off_ns);
+              ("set_a_1_guard_on_ns", J_float ib.ib_guard_on_ns);
+              ( "guard_overhead_pct",
+                J_float
+                  ((ib.ib_guard_on_ns
+                    /. Float.max 1e-9 ib.ib_guard_off_ns
+                   -. 1.0)
+                  *. 100.0) );
+            ] );
         ("widget_sweep", J_list sweep);
         ("scripts", J_list scripts);
         ("send_storm", storm_json ~smoke);
@@ -948,6 +1040,7 @@ let full_suite () =
   widget_sweep ();
   send_sweep ();
   send_storm_section ();
+  interp_section ();
   rescache_ablation ();
   structcache_ablation ();
   binding_ablation ();

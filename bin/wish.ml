@@ -38,7 +38,14 @@
    The -mailbox N flag bounds the application's incoming-send mailbox
    (default 64): a flood of send requests beyond N is refused with a
    distinct overflow error to the sender instead of queueing without
-   limit. Scripts can read or adjust the bound with [send mailbox]. *)
+   limit. Scripts can read or adjust the bound with [send mailbox].
+
+   The -safe-send flag evaluates incoming send scripts in a -safe slave
+   interpreter (hidden exit/exec-alikes/interp/test hooks) instead of
+   the main one; -limit-ms N additionally arms an N-millisecond time
+   limit around each incoming script (and, without -safe-send, switches
+   the guard to limits-on-the-main-interpreter mode). Scripts can read
+   or adjust both with [send guard] and [send limit]. *)
 
 open Xsim
 
@@ -94,6 +101,8 @@ let () =
   let no_cache = ref false in
   let lint = ref false in
   let mailbox = ref 0 in
+  let safe_send = ref false in
+  let limit_ms = ref 0 in
   let rec parse script name stay faults crash_at = function
     | [] -> (script, name, stay, faults, crash_at)
     | "-f" :: path :: rest -> parse (Some path) name stay faults crash_at rest
@@ -121,6 +130,17 @@ let () =
       | Some _ | None ->
         Printf.eprintf "wish: -crash-at expects a non-negative integer\n";
         exit 2)
+    | "-safe-send" :: rest ->
+      safe_send := true;
+      parse script name stay faults crash_at rest
+    | "-limit-ms" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some ms when ms > 0 ->
+        limit_ms := ms;
+        parse script name stay faults crash_at rest
+      | Some _ | None ->
+        Printf.eprintf "wish: -limit-ms expects a positive integer\n";
+        exit 2)
     | "-mailbox" :: n :: rest -> (
       match int_of_string_opt n with
       | Some limit when limit > 0 ->
@@ -134,7 +154,8 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "usage: wish ?-f script? ?-name appName? ?-stay? ?-lint? \
-         ?-faults n? ?-crash-at n? ?-mailbox n? ?-no-compile-cache?\n";
+         ?-faults n? ?-crash-at n? ?-mailbox n? ?-safe-send? \
+         ?-limit-ms n? ?-no-compile-cache?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
@@ -159,6 +180,12 @@ let () =
      client crashes wherever in its life request N happens to fall. *)
   if crash_at > 0 then Server.set_crash_plan app.Tk.Core.conn ~at_request:crash_at;
   if !mailbox > 0 then app.Tk.Core.send.Tk.Core.mailbox_limit <- !mailbox;
+  if !safe_send then app.Tk.Core.send.Tk.Core.guard_mode <- Tk.Core.Guard_safe;
+  if !limit_ms > 0 then begin
+    app.Tk.Core.send.Tk.Core.guard_time_ms <- !limit_ms;
+    if app.Tk.Core.send.Tk.Core.guard_mode = Tk.Core.Guard_off then
+      app.Tk.Core.send.Tk.Core.guard_mode <- Tk.Core.Guard_limits
+  end;
   if !no_cache then Tcl.Interp.set_compile_enabled app.Tk.Core.interp false;
   Sim_commands.install app;
   (* Make the command line available as $argv / $argc, as wish does. *)

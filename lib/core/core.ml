@@ -159,7 +159,18 @@ and send_state = {
   futures : (string, send_future) Hashtbl.t;
   mutable future_serial : int;
   mutable send_rng : int; (* deterministic backoff-jitter state *)
+  (* Guarded evaluation of incoming scripts (Sendcmd.eval_remote). *)
+  mutable guard_mode : guard_mode;
+  mutable guard_time_ms : int; (* 0 = no time limit *)
+  mutable guard_cmds : int; (* 0 = no command budget *)
+  mutable draining : bool; (* a guarded request is evaluating *)
+  mutable guard_interp : Tcl.Interp.t option; (* lazy Guard_safe slave *)
 }
+
+and guard_mode =
+  | Guard_off  (** main interpreter, no limits (backward compatible) *)
+  | Guard_limits  (** main interpreter, limits armed per request *)
+  | Guard_safe  (** a [-safe] slave interpreter, limits armed *)
 
 (* ------------------------------------------------------------------ *)
 (* Local application registry (in-process "display clients") *)
@@ -1160,6 +1171,12 @@ let metrics_snapshot app =
   @ List.map
       (fun (k, v) -> ("tcl.lint." ^ k, v))
       (Tcl.Interp.lint_stats app.interp)
+  @ List.map
+      (fun (k, v) -> ("tcl.limit." ^ k, v))
+      (Tcl.Interp.limit_stats app.interp)
+  @ List.map
+      (fun (k, v) -> ("tcl.interp." ^ k, v))
+      (Tcl.Interp.interp_stats app.interp)
 
 let metric app name =
   List.assoc_opt name (metrics_snapshot app)
@@ -1172,7 +1189,8 @@ let reset_metrics app =
   Metrics.reset app.metrics;
   Dispatch.reset_counters app.disp;
   Tcl.Interp.reset_compile_stats app.interp;
-  Tcl.Interp.reset_lint_stats app.interp
+  Tcl.Interp.reset_lint_stats app.interp;
+  Tcl.Interp.reset_guard_stats app.interp
 
 let mainloop app =
   while not app.app_destroyed do
@@ -1329,6 +1347,11 @@ let create_app ?(app_class = "Tk") ~server ~name () =
           (* Seed the backoff jitter from the connection id: deterministic
              per app, independent of wall-clock time. *)
           send_rng = (Server.connection_id conn * 2654435761) land 0x3FFFFFFF;
+          guard_mode = Guard_off;
+          guard_time_ms = 0;
+          guard_cmds = 0;
+          draining = false;
+          guard_interp = None;
         };
     }
   in
@@ -1336,6 +1359,11 @@ let create_app ?(app_class = "Tk") ~server ~name () =
      a virtual clock it agrees with [after]. *)
   Tcl.Interp.set_time_source interp
     (Some (fun () -> Dispatch.clock_seconds app.disp));
+  (* Resource limits run on the dispatcher's millisecond clock, so a
+     virtual clock makes limit enforcement deterministic, and slaves
+     created later inherit the same clock. *)
+  Tcl.Interp.set_limit_clock interp
+    (Some (fun () -> Dispatch.now_ms app.disp));
   (* Register a unique application name in its registry shard (paper §6). *)
   app.app_name <- register_name app ~name ~comm:comm_win;
   let dc = clients_for server in

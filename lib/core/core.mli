@@ -177,7 +177,27 @@ and send_state = {
   futures : (string, send_future) Hashtbl.t;  (** handle -> future *)
   mutable future_serial : int;
   mutable send_rng : int;  (** deterministic backoff-jitter state *)
+  mutable guard_mode : guard_mode;
+      (** where and under what limits incoming scripts evaluate *)
+  mutable guard_time_ms : int;
+      (** time limit armed per incoming request (0 = none) *)
+  mutable guard_cmds : int;
+      (** command budget armed per incoming request (0 = none) *)
+  mutable draining : bool;
+      (** true while a guarded incoming request is evaluating: requests
+          drained nested inside it (a blocking script pumps the event
+          loop) run under the outer request's armed limits instead of
+          re-arming/disarming them *)
+  mutable guard_interp : Tcl.Interp.t option;
+      (** the lazily created [-safe] slave that [Guard_safe] evaluates
+          incoming scripts in *)
 }
+
+(** Evaluation context for incoming send/mailbox scripts. *)
+and guard_mode =
+  | Guard_off  (** main interpreter, no limits (backward compatible) *)
+  | Guard_limits  (** main interpreter, limits armed per request *)
+  | Guard_safe  (** a [-safe] slave interpreter, limits armed *)
 
 (** {1 Application lifecycle} *)
 

@@ -15,6 +15,8 @@ type t = {
   mutable send_overflows : int;
   mutable send_died : int;
   mutable send_timeouts : int;
+  mutable sends_denied : int;
+  mutable sends_limited : int;
   mutable futures_created : int;
   mutable futures_resolved : int;
   (* ... receiver-side mailbox accounting ... *)
@@ -22,6 +24,8 @@ type t = {
   mutable mailbox_drained : int;
   mutable mailbox_rejected : int;
   mutable mailbox_high_water : int;
+  mutable recv_denied : int;
+  mutable recv_limited : int;
   (* ... and registry hygiene. *)
   mutable ghosts_collected : int;
 }
@@ -43,12 +47,16 @@ let create () =
     send_overflows = 0;
     send_died = 0;
     send_timeouts = 0;
+    sends_denied = 0;
+    sends_limited = 0;
     futures_created = 0;
     futures_resolved = 0;
     mailbox_enqueued = 0;
     mailbox_drained = 0;
     mailbox_rejected = 0;
     mailbox_high_water = 0;
+    recv_denied = 0;
+    recv_limited = 0;
     ghosts_collected = 0;
   }
 
@@ -68,12 +76,16 @@ let reset t =
   t.send_overflows <- 0;
   t.send_died <- 0;
   t.send_timeouts <- 0;
+  t.sends_denied <- 0;
+  t.sends_limited <- 0;
   t.futures_created <- 0;
   t.futures_resolved <- 0;
   t.mailbox_enqueued <- 0;
   t.mailbox_drained <- 0;
   t.mailbox_rejected <- 0;
   t.mailbox_high_water <- 0;
+  t.recv_denied <- 0;
+  t.recv_limited <- 0;
   t.ghosts_collected <- 0
 
 let to_list t =
@@ -97,11 +109,15 @@ let send_to_list t =
     ("tk.send.overflows", string_of_int t.send_overflows);
     ("tk.send.died", string_of_int t.send_died);
     ("tk.send.timeouts", string_of_int t.send_timeouts);
+    ("tk.send.denied", string_of_int t.sends_denied);
+    ("tk.send.limited", string_of_int t.sends_limited);
     ("tk.send.futures_created", string_of_int t.futures_created);
     ("tk.send.futures_resolved", string_of_int t.futures_resolved);
     ("tk.send.mailbox_enqueued", string_of_int t.mailbox_enqueued);
     ("tk.send.mailbox_drained", string_of_int t.mailbox_drained);
     ("tk.send.mailbox_rejected", string_of_int t.mailbox_rejected);
     ("tk.send.mailbox_depth_high_water", string_of_int t.mailbox_high_water);
+    ("tk.send.recv_denied", string_of_int t.recv_denied);
+    ("tk.send.recv_limited", string_of_int t.recv_limited);
     ("tk.send.ghosts_collected", string_of_int t.ghosts_collected);
   ]

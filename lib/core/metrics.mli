@@ -30,6 +30,10 @@ type t = {
   mutable send_overflows : int;  (** sends that resolved [overflow] *)
   mutable send_died : int;  (** sends that resolved [died] *)
   mutable send_timeouts : int;  (** sends that resolved [timed-out] *)
+  mutable sends_denied : int;
+      (** sends refused because the script reached a hidden command *)
+  mutable sends_limited : int;
+      (** sends cut short by the target's resource limits *)
   mutable futures_created : int;
   mutable futures_resolved : int;
   mutable mailbox_enqueued : int;  (** incoming requests accepted *)
@@ -37,6 +41,10 @@ type t = {
   mutable mailbox_rejected : int;
       (** incoming requests refused because the mailbox was full *)
   mutable mailbox_high_water : int;  (** deepest the mailbox has been *)
+  mutable recv_denied : int;
+      (** incoming scripts that hit a hidden command here *)
+  mutable recv_limited : int;
+      (** incoming scripts stopped by this target's limits *)
   mutable ghosts_collected : int;
       (** stale registry entries garbage-collected *)
 }

@@ -19,7 +19,11 @@ let jitter app bound =
 (* ------------------------------------------------------------------ *)
 (* Receiver side: mailbox, drain, replies *)
 
-(* Reply codes on the wire: "0" ok, "1" Tcl error, "2" mailbox overflow. *)
+(* Reply codes on the wire: "0" ok, "1" Tcl error, "2" mailbox overflow,
+   "3" hidden-command denial, "4" resource limit exceeded.  Overflow and
+   limit-exceeded are deliberately distinct codes with distinct messages:
+   the first is the *mailbox* refusing before evaluation, the second the
+   *evaluator* cutting a runaway short. *)
 let reply app ~sender ~serial ~code ~value ~info =
   (* The sender may die between posting the script and our reply: writing
      the result property then raises BadWindow, which we absorb (there is
@@ -31,22 +35,130 @@ let reply app ~sender ~serial ~code ~value ~info =
   Server.change_property app.Core.conn sender ~prop ~ptype:Atom.string
     (Tcl.Tcl_list.format [ code; value; info ])
 
+(* How one incoming script's evaluation ended, beyond ok/error: a
+   hidden-command denial or a resource-limit trip gets its own class so
+   the wire reply and the sender's outcome can distinguish them. *)
+type eval_class =
+  | C_ok
+  | C_error
+  | C_denied
+  | C_limited of Tcl.Interp.limit_kind
+
+let limited_msg app kind =
+  Printf.sprintf "script in application \"%s\" exceeded its %s limit"
+    app.Core.app_name
+    (match kind with
+    | Tcl.Interp.Limit_time -> "time"
+    | Tcl.Interp.Limit_commands -> "command")
+
+(* The interpreter incoming scripts evaluate in under [Guard_safe]: a
+   [-safe] slave of the main interpreter named "send", created lazily
+   and re-created if a script deleted it ([interp delete send] from the
+   master side is legal — the guard just makes a fresh one). *)
+let guard_interp app =
+  let s = app.Core.send in
+  let master = app.Core.interp in
+  let cached =
+    match s.Core.guard_interp with
+    | Some gi -> (
+      match Tcl.Interp.find_slave master "send" with
+      | Some live when live == gi -> Some gi
+      | Some _ | None -> None)
+    | None -> None
+  in
+  match cached with
+  | Some gi -> gi
+  | None -> (
+    ignore (Tcl.Interp.delete_slave master "send");
+    match Tcl.Builtins.create_slave ~master ~safe:true "send" with
+    | Ok gi ->
+      s.Core.guard_interp <- Some gi;
+      gi
+    | Error _ ->
+      (* Unreachable: the name was just deleted.  Fall back to the main
+         interpreter rather than dropping the request. *)
+      master)
+
 (* Remote scripts execute at global scope, whatever the receiving
    application happened to be doing.  The self-send fast path calls this
    same function, so the two paths are differential-identical (result,
-   status, errorInfo). *)
+   status, errorInfo, guard behavior).  Under [Guard_limits]/[Guard_safe]
+   the configured limits are armed around the evaluation and disarmed
+   after, so a runaway script is cut short without leaving the
+   interpreter limited for its own user. *)
 let eval_remote app script =
-  Tcl.Interp.with_level app.Core.interp 0 (fun () ->
-      Tcl.Interp.eval app.Core.interp script)
+  let s = app.Core.send in
+  let m = app.Core.metrics in
+  let interp, guarded =
+    match s.Core.guard_mode with
+    | Core.Guard_off -> (app.Core.interp, false)
+    | Core.Guard_limits -> (app.Core.interp, true)
+    | Core.Guard_safe -> (guard_interp app, true)
+  in
+  (* Arm limits only for the outermost request: a request evaluated
+     nested inside another (a blocking script pumps the event loop,
+     which drains again) runs under the outer request's armed budget —
+     re-arming here would reset the outer script's deadline, and
+     disarming on the way out would strip it. *)
+  let armed = guarded && not s.Core.draining in
+  let denied_before = Tcl.Interp.denied_count interp in
+  if armed then begin
+    s.Core.draining <- true;
+    if s.Core.guard_time_ms > 0 then
+      Tcl.Interp.set_time_limit interp s.Core.guard_time_ms;
+    if s.Core.guard_cmds > 0 then
+      Tcl.Interp.set_command_limit interp s.Core.guard_cmds
+  end;
+  let disarm () =
+    if armed then begin
+      Tcl.Interp.set_time_limit interp 0;
+      Tcl.Interp.set_command_limit interp 0;
+      s.Core.draining <- false
+    end
+  in
+  let status, value =
+    match
+      Tcl.Interp.with_level interp 0 (fun () -> Tcl.Interp.eval interp script)
+    with
+    | r -> r
+    | exception e ->
+      disarm ();
+      raise e
+  in
+  let cls =
+    match status with
+    | Tcl.Interp.Tcl_error -> (
+      match Tcl.Interp.limit_tripped interp with
+      | Some k -> C_limited k
+      | None ->
+        if Tcl.Interp.denied_count interp > denied_before then C_denied
+        else C_error)
+    | _ -> C_ok
+  in
+  let info =
+    match status with
+    | Tcl.Interp.Tcl_error -> Tcl.Interp.get_error_info interp
+    | _ -> ""
+  in
+  disarm ();
+  (* The limit/unwind error has been delivered into the reply; it must
+     not keep unwinding the (self-path) sender's own catch frames. *)
+  if armed then Tcl.Interp.clear_unwinding interp;
+  (match cls with
+  | C_denied -> m.Metrics.recv_denied <- m.Metrics.recv_denied + 1
+  | C_limited _ -> m.Metrics.recv_limited <- m.Metrics.recv_limited + 1
+  | C_ok | C_error -> ());
+  (status, value, info, cls)
 
 let evaluate_request app (rq : Core.send_request) =
-  let status, value = eval_remote app rq.Core.sq_script in
+  let _status, value, info, cls = eval_remote app rq.Core.sq_script in
   if rq.Core.sq_mode <> "async" then begin
-    let code, info =
-      match status with
-      | Tcl.Interp.Tcl_error ->
-        ("1", Tcl.Interp.get_error_info app.Core.interp)
-      | _ -> ("0", "")
+    let code, value, info =
+      match cls with
+      | C_ok -> ("0", value, "")
+      | C_error -> ("1", value, info)
+      | C_denied -> ("3", value, "")
+      | C_limited k -> ("4", limited_msg app k, "")
     in
     reply app ~sender:rq.Core.sq_sender ~serial:rq.Core.sq_serial ~code
       ~value ~info
@@ -132,7 +244,11 @@ let drain_mailbox app =
   let s = app.Core.send in
   let m = app.Core.metrics in
   (* Snapshot the depth: requests enqueued by scripts we evaluate here
-     wait for the next sweep, keeping each drain bounded. *)
+     wait for the next sweep, keeping each drain bounded.  A drained
+     script that blocks (a synchronous send or [after]) pumps the event
+     loop, which may drain again — that nesting is what lets nested
+     RPC bottom out, and [eval_remote] makes it safe by arming resource
+     limits only at the outermost request (see [Core.draining]). *)
   let n = Queue.length s.Core.mailbox in
   for _ = 1 to n do
     match Queue.take_opt s.Core.mailbox with
@@ -203,13 +319,18 @@ let pump app comm =
 (* One send's terminal state.  The failure taxonomy is deliberately
    disjoint: [died] (liveness ping failed), [timeout] (alive but
    unresponsive past the deadline), [overflow] (refused by the target's
-   mailbox), [error] (the remote script raised). *)
+   mailbox before evaluation), [denied] (the script reached a hidden
+   command in the target's guard context), [limited] (the target's
+   resource limits cut the script short), [error] (the remote script
+   raised an ordinary Tcl error). *)
 type outcome =
   | O_ok of string
   | O_error of string
   | O_died of string
   | O_timeout of string
   | O_overflow of string
+  | O_denied of string
+  | O_limited of string
 
 let outcome_state = function
   | O_ok _ -> "ok"
@@ -217,9 +338,23 @@ let outcome_state = function
   | O_died _ -> "died"
   | O_timeout _ -> "timeout"
   | O_overflow _ -> "overflow"
+  | O_denied _ -> "denied"
+  | O_limited _ -> "limited"
 
 let outcome_value = function
-  | O_ok v | O_error v | O_died v | O_timeout v | O_overflow v -> v
+  | O_ok v | O_error v | O_died v | O_timeout v | O_overflow v | O_denied v
+  | O_limited v ->
+    v
+
+(* The self-send fast path maps an eval_remote classification onto the
+   same outcome (with the same message text) the wire path would have
+   delivered, keeping the two paths differential-identical. *)
+let outcome_of_local app (value, cls) =
+  match cls with
+  | C_ok -> O_ok value
+  | C_error -> O_error value
+  | C_denied -> O_denied value
+  | C_limited k -> O_limited (limited_msg app k)
 
 let died_msg target = Printf.sprintf "target application \"%s\" died" target
 
@@ -244,6 +379,8 @@ let count_outcome app o =
   | O_died _ -> m.Metrics.send_died <- m.Metrics.send_died + 1
   | O_timeout _ -> m.Metrics.send_timeouts <- m.Metrics.send_timeouts + 1
   | O_overflow _ -> m.Metrics.send_overflows <- m.Metrics.send_overflows + 1
+  | O_denied _ -> m.Metrics.sends_denied <- m.Metrics.sends_denied + 1
+  | O_limited _ -> m.Metrics.sends_limited <- m.Metrics.sends_limited + 1
 
 (* Wait for the reply to [serial] against [deadline] on the dispatcher
    clock.  Polls pump the sender and the target so evaluation makes
@@ -259,6 +396,8 @@ let wait_reply app ~target ~comm ~serial ~deadline ~timeout_ms ~retry script
     match take_reply app serial with
     | Some ("0", value, _) -> O_ok value
     | Some ("1", value, _) -> O_error value
+    | Some ("3", value, _) -> O_denied value
+    | Some ("4", value, _) -> O_limited value
     | Some (_, value, _) ->
       if retry && Dispatch.now_ms disp < deadline then begin
         m.Metrics.send_retries <- m.Metrics.send_retries + 1;
@@ -327,9 +466,8 @@ let send_outcome ?(timeout_ms = default_timeout_ms) ?(retry = false) app
   let o =
     if is_self app target then begin
       m.Metrics.sends_self <- m.Metrics.sends_self + 1;
-      match eval_remote app script with
-      | Tcl.Interp.Tcl_error, value -> O_error value
-      | _, value -> O_ok value
+      let _, value, _, cls = eval_remote app script in
+      outcome_of_local app (value, cls)
     end
     else begin
       let serial = fresh_serial app in
@@ -348,7 +486,9 @@ let send_outcome ?(timeout_ms = default_timeout_ms) ?(retry = false) app
 let send ?timeout_ms ?retry app ~target script =
   match send_outcome ?timeout_ms ?retry app ~target script with
   | O_ok v -> Ok v
-  | O_error v | O_died v | O_timeout v | O_overflow v -> Error v
+  | O_error v | O_died v | O_timeout v | O_overflow v | O_denied v
+  | O_limited v ->
+    Error v
 
 (* ------------------------------------------------------------------ *)
 (* Asynchronous (fire-and-forget) send *)
@@ -400,6 +540,12 @@ let check_future app (ft : Core.send_future) =
       true
     | Some ("1", value, _) ->
       resolve_future app ft (O_error value);
+      true
+    | Some ("3", value, _) ->
+      resolve_future app ft (O_denied value);
+      true
+    | Some ("4", value, _) ->
+      resolve_future app ft (O_limited value);
       true
     | Some (_, value, _) ->
       resolve_future app ft (O_overflow value);
@@ -457,9 +603,8 @@ let send_future ?(timeout_ms = default_timeout_ms) app ~target script =
       register_future app ~target ~comm:app.Core.comm_win
         ~serial:(fresh_serial app) ~deadline
     in
-    (match eval_remote app script with
-    | Tcl.Interp.Tcl_error, value -> resolve_future app ft (O_error value)
-    | _, value -> resolve_future app ft (O_ok value));
+    let _, value, _, cls = eval_remote app script in
+    resolve_future app ft (outcome_of_local app (value, cls));
     Ok handle
   end
   else
@@ -532,9 +677,8 @@ let broadcast ?(timeout_ms = default_timeout_ms) ?pattern app script =
         if is_self app name then begin
           m.Metrics.sends_self <- m.Metrics.sends_self + 1;
           let o =
-            match eval_remote app script with
-            | Tcl.Interp.Tcl_error, value -> O_error value
-            | _, value -> O_ok value
+            let _, value, _, cls = eval_remote app script in
+            outcome_of_local app (value, cls)
           in
           count_outcome app o;
           (name, `Done o)
@@ -587,6 +731,45 @@ let command app : Tcl.Interp.command =
     | Ok None -> Tcl.Interp.ok "pending"
     | Ok (Some (state, value)) ->
       Tcl.Interp.ok (Tcl.Tcl_list.format [ state; value ]))
+  | [ _; "guard" ] ->
+    Tcl.Interp.ok
+      (match app.Core.send.Core.guard_mode with
+      | Core.Guard_off -> "off"
+      | Core.Guard_limits -> "limits"
+      | Core.Guard_safe -> "safe")
+  | [ _; "guard"; mode ] -> (
+    match mode with
+    | "off" ->
+      app.Core.send.Core.guard_mode <- Core.Guard_off;
+      Tcl.Interp.ok ""
+    | "limits" | "on" ->
+      app.Core.send.Core.guard_mode <- Core.Guard_limits;
+      Tcl.Interp.ok ""
+    | "safe" ->
+      app.Core.send.Core.guard_mode <- Core.Guard_safe;
+      Tcl.Interp.ok ""
+    | _ ->
+      err
+        (Printf.sprintf "bad guard mode \"%s\": should be off, limits, or safe"
+           mode))
+  | [ _; "limit"; kind ] -> (
+    match kind with
+    | "time" -> Tcl.Interp.ok (string_of_int app.Core.send.Core.guard_time_ms)
+    | "commands" -> Tcl.Interp.ok (string_of_int app.Core.send.Core.guard_cmds)
+    | _ ->
+      err (Printf.sprintf "bad limit type \"%s\": should be time or commands" kind))
+  | [ _; "limit"; kind; n ] -> (
+    match (kind, int_of_string_opt n) with
+    | "time", Some v when v >= 0 ->
+      app.Core.send.Core.guard_time_ms <- v;
+      Tcl.Interp.ok ""
+    | "commands", Some v when v >= 0 ->
+      app.Core.send.Core.guard_cmds <- v;
+      Tcl.Interp.ok ""
+    | ("time" | "commands"), _ ->
+      err (Printf.sprintf "expected non-negative integer but got \"%s\"" n)
+    | _ ->
+      err (Printf.sprintf "bad limit type \"%s\": should be time or commands" kind))
   | [ _; "mailbox" ] ->
     Tcl.Interp.ok (string_of_int app.Core.send.Core.mailbox_limit)
   | [ _; "mailbox"; limit ] -> (

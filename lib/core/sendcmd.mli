@@ -11,15 +11,30 @@
     re-entrantly in the middle of another event handler. Replies come
     back through a per-serial result property.
 
+    Incoming scripts can evaluate under a {e guard}
+    ({!Core.send_state.guard_mode}): [Guard_limits] arms the configured
+    time/command limits on the main interpreter around each request;
+    [Guard_safe] evaluates in a lazily created [-safe] slave named
+    ["send"] (hidden [exit]/[exec]-alikes/[interp]/test hooks) with the
+    same limits. Either way a hostile or runaway peer script is cut
+    short at the next dispatch boundary and the sender gets a distinct
+    reply — the target's event loop never wedges.
+
     Failure taxonomy (disjoint, and each send resolves to exactly one):
     - [ok] / [error]: the remote script ran (and possibly raised);
     - [died]: the target's communication window or connection is gone;
     - [timeout]: the target is alive but unresponsive past the deadline;
-    - [overflow]: the target's mailbox was full and refused the request.
+    - [overflow]: the target's mailbox was full and refused the request
+      before evaluation;
+    - [denied]: the script reached a hidden command in the target's
+      guard context;
+    - [limited]: the target's resource limits cut the script short.
 
     Tcl surface: [send ?-async? ?-future? ?-retry? ?-timeout ms? ?-all?
     ?-glob pattern? ?--? appName arg ?arg ...?], plus the subcommands
-    [send wait handle], [send result handle] and [send mailbox ?limit?]. *)
+    [send wait handle], [send result handle], [send mailbox ?limit?],
+    [send guard ?off|limits|safe?] and
+    [send limit time|commands ?n?]. *)
 
 val install : Core.app -> unit
 (** Register the [send] Tcl command, the incoming-request interceptor and
@@ -32,9 +47,12 @@ type outcome =
   | O_died of string
   | O_timeout of string
   | O_overflow of string
+  | O_denied of string
+  | O_limited of string
 
 val outcome_state : outcome -> string
-(** ["ok"], ["error"], ["died"], ["timeout"] or ["overflow"]. *)
+(** ["ok"], ["error"], ["died"], ["timeout"], ["overflow"], ["denied"]
+    or ["limited"]. *)
 
 val outcome_value : outcome -> string
 (** The result value (ok/error) or the diagnostic message. *)

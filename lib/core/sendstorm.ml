@@ -14,9 +14,13 @@ type config = {
   apps : int;
   crash_percent : int;  (* % of apps armed with a crash plan *)
   hang_percent : int;  (* % of apps made deaf (alive, never answering) *)
+  hostile_percent : int;  (* % of apps sending runaway/forbidden scripts *)
   sends_per_app : int;
   mailbox_limit : int;
   timeout_ms : int;  (* per-send deadline on the virtual clock *)
+  guarded : bool;  (* arm send guards on every app *)
+  guard_time_ms : int;  (* per-request time limit when guarded *)
+  guard_cmds : int;  (* per-request command budget when guarded *)
   seed : int;
 }
 
@@ -25,9 +29,13 @@ let default =
     apps = 50;
     crash_percent = 2;
     hang_percent = 2;
+    hostile_percent = 0;
     sends_per_app = 3;
     mailbox_limit = 16;
     timeout_ms = 200;
+    guarded = false;
+    guard_time_ms = 0;
+    guard_cmds = 0;
     seed = 42;
   }
 
@@ -80,8 +88,34 @@ let run cfg =
         Dispatch.set_clock app.Core.disp clock;
         Dispatch.set_sleep app.Core.disp sleep;
         app.Core.send.Core.mailbox_limit <- cfg.mailbox_limit;
+        (* Guarded fleets alternate evaluation contexts, so one storm
+           exercises both guard shapes: even apps arm limits on the main
+           interpreter, odd apps evaluate in a -safe slave. *)
+        if cfg.guarded then begin
+          app.Core.send.Core.guard_mode <-
+            (if i land 1 = 0 then Core.Guard_limits else Core.Guard_safe);
+          app.Core.send.Core.guard_time_ms <- cfg.guard_time_ms;
+          app.Core.send.Core.guard_cmds <- cfg.guard_cmds
+        end;
         ignore (Tcl.Interp.eval app.Core.interp "set hits 0");
         app)
+  in
+  (* A hostile app sends runaway or forbidden scripts chosen for its
+     victim's guard shape: time-runaways ([while 1 {after 1}], which
+     advances the shared virtual clock) and CPU-runaways
+     ([while 1 {set spin 1}], killed by command budgets) at
+     limits-guarded victims; forbidden [exit] (hidden-command denial)
+     and CPU-runaways at safe-slave victims.  [exit] is never sent to a
+     main-interpreter victim — nothing there would stop it. *)
+  let hostile i =
+    cfg.guarded && cfg.hostile_percent > 0 && i > 0
+    && (i * 7 + 3) mod 100 < cfg.hostile_percent
+  in
+  let hostile_script target_idx pick =
+    if cfg.guarded && target_idx land 1 = 1 then
+      if pick = 0 then "exit 7" else "while 1 {set spin 1}"
+    else if pick = 0 then "while 1 {after 1}"
+    else "while 1 {set spin 1}"
   in
   let baseline_requests =
     Array.fold_left
@@ -149,7 +183,17 @@ let run cfg =
           in
           let kind = draw 100 in
           try
-            if kind < 55 then
+            if hostile i then
+              (* Hostile traffic is all synchronous: the sender waits
+                 out each victim's verdict, so every runaway's
+                 termination (limit trip or denial) lands in the outcome
+                 tally. *)
+              record_outcome
+                (timed (fun () ->
+                     Sendcmd.send_outcome ~timeout_ms:cfg.timeout_ms app
+                       ~target
+                       (hostile_script target_idx (draw 2))))
+            else if kind < 55 then
               record_outcome
                 (timed (fun () ->
                      Sendcmd.send_outcome ~timeout_ms:cfg.timeout_ms app
@@ -216,7 +260,10 @@ let run cfg =
           if name = "tk.send.mailbox_depth_high_water" then
             Hashtbl.replace counters name (max n v)
           else Hashtbl.replace counters name (n + v))
-        (Metrics.send_to_list app.Core.metrics))
+        (Metrics.send_to_list app.Core.metrics
+        @ List.map
+            (fun (k, v) -> ("tcl.limit." ^ k, v))
+            (Tcl.Interp.limit_stats app.Core.interp)))
     apps;
   let sorted_assoc tbl =
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

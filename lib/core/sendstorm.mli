@@ -19,9 +19,20 @@ type config = {
   apps : int;
   crash_percent : int;  (** % of apps armed with a crash plan *)
   hang_percent : int;  (** % of apps made deaf (alive, never answering) *)
+  hostile_percent : int;
+      (** % of apps sending runaway ([while 1]) and forbidden ([exit])
+          scripts instead of the benign mix; requires [guarded] *)
   sends_per_app : int;  (** storm rounds: one send per live app per round *)
   mailbox_limit : int;  (** receiver backpressure bound *)
   timeout_ms : int;  (** per-send deadline on the virtual clock *)
+  guarded : bool;
+      (** arm send guards fleet-wide: even apps evaluate incoming
+          scripts under limits on their main interpreter
+          ([Core.Guard_limits]), odd apps in a [-safe] slave
+          ([Core.Guard_safe]) *)
+  guard_time_ms : int;  (** per-request time limit when guarded (0 = none) *)
+  guard_cmds : int;
+      (** per-request command budget when guarded (0 = none) *)
   seed : int;
 }
 
@@ -33,16 +44,18 @@ type report = {
   cfg : config;
   outcomes : (string * int) list;
       (** terminal state -> count, sorted; states are [ok]/[error]/
-          [died]/[timeout]/[overflow] plus [sender-crashed] (the sender's
-          own crash plan fired mid-send). [lost] never appears: that
-          would be a future that vanished unresolved. *)
+          [died]/[timeout]/[overflow]/[denied]/[limited] plus
+          [sender-crashed] (the sender's own crash plan fired mid-send).
+          [lost] never appears: that would be a future that vanished
+          unresolved. *)
   sends_issued : int;  (** aggregated [tk.send.sends] *)
   skipped_dead_senders : int;
   unresolved_futures : int;  (** must be 0 after the resolution phase *)
   crashes_planned : int;
   crashes_landed : int;
   hung : int;
-  counters : (string * int) list;  (** aggregated [tk.send.*], sorted *)
+  counters : (string * int) list;
+      (** aggregated [tk.send.*] and [tcl.limit.*], sorted *)
   requests_total : int;  (** X requests issued by the whole storm *)
   requests_per_send : float;
   latencies_ms : int array;  (** virtual ms per awaited send, sorted *)

@@ -190,12 +190,22 @@ let cmd_after app : Tcl.Interp.command =
   | [ _; ms ] -> (
     match int_of_string_opt ms with
     | Some ms ->
-      (* Blocking form: sleep while keeping the application alive. *)
-      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
-      while Unix.gettimeofday () < deadline do
+      (* Blocking form: sleep on the dispatcher clock while keeping the
+         application alive.  Using the pluggable clock (not wall time)
+         means a virtual clock advances deterministically through
+         blocking sleeps — which is also what lets time limits fire at
+         exact virtual ticks in scripts like [while 1 {after 1}]. *)
+      let disp = app.Core.disp in
+      let deadline = Dispatch.now_ms disp + ms in
+      let rec wait () =
         Core.update app;
-        ignore (Unix.select [] [] [] 0.002)
-      done;
+        let now = Dispatch.now_ms disp in
+        if now < deadline then begin
+          Dispatch.sleep_ms disp (min (deadline - now) 2);
+          wait ()
+        end
+      in
+      wait ();
       ok ""
     | None -> failf "expected integer but got \"%s\"" ms)
   | _ :: ms :: (_ :: _ as script_words) -> (

@@ -221,14 +221,23 @@ let status_code = function
 
 let cmd_catch t = function
   | [ _; body ] ->
-    let status, _ = eval t body in
-    mark_error_handled t;
-    ok (string_of_int (status_code status))
+    let status, v = eval t body in
+    (* Limit trips and unwinding cancels must not be swallowed: they
+       propagate through catch so runaway scripts cannot shield
+       themselves from their own resource limits. *)
+    if unwinding t then (status, v)
+    else begin
+      mark_error_handled t;
+      ok (string_of_int (status_code status))
+    end
   | [ _; body; var ] ->
     let status, v = eval t body in
-    mark_error_handled t;
-    set_var t var v;
-    ok (string_of_int (status_code status))
+    if unwinding t then (status, v)
+    else begin
+      mark_error_handled t;
+      set_var t var v;
+      ok (string_of_int (status_code status))
+    end
   | _ -> wrong_args "catch command ?varName?"
 
 let cmd_error _t = function

@@ -137,6 +137,51 @@ type lint_stats = {
   mutable lint_warnings : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Resource limits, cancellation and isolation ("the guard").
+
+   An interpreter may carry a time budget (milliseconds on a pluggable
+   clock), a command-dispatch budget, and a pending asynchronous
+   cancellation.  All three are checked at evaluation boundaries — script
+   entry in both the reference and compiled evaluators, and every command
+   dispatch — behind one [guard_active] boolean, so an unguarded
+   interpreter pays a single flag test per boundary.  A tripped limit
+   stays tripped until {!rearm_limits}: a runaway that swallows the first
+   limit error dies again at the very next boundary. *)
+
+type limit_kind = Limit_time | Limit_commands
+
+(* Guard activity counters, exported as tcl.limit.* / tcl.interp.* by the
+   toolkit's metrics registry.  The record is shared by reference between
+   a master and every slave in its tree, so per-application metrics roll
+   up the whole isolation tree. *)
+type guard_stats = {
+  mutable g_checks : int;  (* guard boundary checks performed *)
+  mutable g_time_exceeded : int;
+  mutable g_cmd_exceeded : int;
+  mutable g_cancels : int;  (* cancellations requested *)
+  mutable g_cancelled : int;  (* cancellation errors delivered *)
+  mutable g_denied : int;  (* hidden-command invocations refused *)
+  mutable g_recursion_exceeded : int;
+  mutable g_creates : int;  (* slave interpreters created *)
+  mutable g_deletes : int;  (* slave interpreters deleted *)
+  mutable g_alias_calls : int;  (* alias invocations marshalled *)
+}
+
+let fresh_guard_stats () =
+  {
+    g_checks = 0;
+    g_time_exceeded = 0;
+    g_cmd_exceeded = 0;
+    g_cancels = 0;
+    g_cancelled = 0;
+    g_denied = 0;
+    g_recursion_exceeded = 0;
+    g_creates = 0;
+    g_deletes = 0;
+    g_alias_calls = 0;
+  }
+
 type t = {
   commands : (string, cmd_def) Hashtbl.t;
   signatures : (string, signature) Hashtbl.t;
@@ -160,6 +205,34 @@ type t = {
   stats : compile_stats;
   mutable time_source : (unit -> float) option;
       (* pluggable clock for [time] (seconds); None = Sys.time *)
+  (* --- isolation tree --- *)
+  slaves : (string, t) Hashtbl.t;
+  hidden : (string, cmd_def) Hashtbl.t;
+      (* commands moved out of dispatch reach (hide/expose/invokehidden);
+         invoking one by name is a counted denial, not an unknown *)
+  aliases : (string, string) Hashtbl.t;
+      (* alias name -> rendered target spec, for [interp aliases] *)
+  mutable safe : bool;
+  (* --- limits / cancellation --- *)
+  mutable recursionlimit : int;
+  mutable guard_active : bool;
+      (* fast flag: some limit or cancellation needs checking at eval
+         boundaries; false = one boolean test per boundary *)
+  mutable limit_time_ms : int; (* time budget in ms; 0 = unlimited *)
+  mutable limit_deadline_ms : int; (* absolute, on the limit clock *)
+  mutable limit_granularity : int; (* boundaries per deadline read *)
+  mutable limit_countdown : int;
+  mutable limit_cmds : int; (* command-dispatch budget; 0 = unlimited *)
+  mutable limit_cmds_left : int;
+  mutable tripped : limit_kind option;
+  mutable limit_clock : (unit -> int) option;
+      (* milliseconds; None falls back to [current_time] — the toolkit
+         points this at the event dispatcher's clock *)
+  mutable cancel_request : (string * bool) option; (* message, unwind *)
+  mutable unwinding : bool;
+      (* a limit or unwinding-cancel error is propagating: [catch] must
+         let it through instead of stopping it *)
+  mutable guard : guard_stats; (* shared by reference across the tree *)
 }
 
 and command = t -> string list -> result
@@ -186,7 +259,7 @@ and expr_entry = {
   mutable e_tick : int;
 }
 
-let max_nesting = 1000
+let default_recursion_limit = 1000
 
 let new_frame () = { vars = Hashtbl.create 16 }
 
@@ -210,6 +283,23 @@ let create () =
     cache_tick = 0;
     stats = fresh_stats ();
     time_source = None;
+    slaves = Hashtbl.create 4;
+    hidden = Hashtbl.create 8;
+    aliases = Hashtbl.create 8;
+    safe = false;
+    recursionlimit = default_recursion_limit;
+    guard_active = false;
+    limit_time_ms = 0;
+    limit_deadline_ms = 0;
+    limit_granularity = 1;
+    limit_countdown = 1;
+    limit_cmds = 0;
+    limit_cmds_left = 0;
+    tripped = None;
+    limit_clock = None;
+    cancel_request = None;
+    unwinding = false;
+    guard = fresh_guard_stats ();
   }
 
 let current_frame t =
@@ -629,6 +719,264 @@ let current_time t =
   match t.time_source with Some f -> f () | None -> Sys.time ()
 
 (* ------------------------------------------------------------------ *)
+(* Resource limits and cancellation *)
+
+let recursion_limit t = t.recursionlimit
+
+let set_recursion_limit t n =
+  if n < 1 then failf "recursionlimit must be at least 1"
+  else t.recursionlimit <- n
+
+let set_limit_clock t f = t.limit_clock <- f
+
+let limit_clock t = t.limit_clock
+
+let limit_now t =
+  match t.limit_clock with
+  | Some f -> f ()
+  | None -> int_of_float (current_time t *. 1000.0)
+
+let recompute_guard t =
+  t.guard_active <-
+    t.limit_time_ms > 0 || t.limit_cmds > 0 || t.tripped <> None
+    || t.cancel_request <> None
+
+(* Re-arm every configured budget and clear the tripped state: the time
+   deadline restarts from now, the command budget refills.  This is the
+   only way out of a tripped limit. *)
+let rearm_limits t =
+  t.tripped <- None;
+  t.limit_cmds_left <- t.limit_cmds;
+  t.limit_countdown <- t.limit_granularity;
+  if t.limit_time_ms > 0 then
+    t.limit_deadline_ms <- limit_now t + t.limit_time_ms;
+  recompute_guard t
+
+let set_time_limit ?(granularity = 1) t ms =
+  if ms < 0 then failf "time limit must be a non-negative integer"
+  else if granularity < 1 then failf "granularity must be at least 1"
+  else begin
+    t.limit_time_ms <- ms;
+    t.limit_granularity <- granularity;
+    rearm_limits t
+  end
+
+let set_command_limit t n =
+  if n < 0 then failf "command limit must be a non-negative integer"
+  else begin
+    t.limit_cmds <- n;
+    rearm_limits t
+  end
+
+let time_limit t = t.limit_time_ms
+
+let time_limit_granularity t = t.limit_granularity
+
+let command_limit t = t.limit_cmds
+
+let limit_tripped t = t.tripped
+
+let limit_message = function
+  | Limit_time -> "time limit exceeded"
+  | Limit_commands -> "command count limit exceeded"
+
+let cancel ?(unwind = false) ?message t =
+  let msg =
+    match message with
+    | Some m -> m
+    | None -> if unwind then "eval unwound" else "eval canceled"
+  in
+  t.cancel_request <- Some (msg, unwind);
+  t.guard.g_cancels <- t.guard.g_cancels + 1;
+  recompute_guard t
+
+let cancel_pending t = t.cancel_request <> None
+
+let unwinding t = t.unwinding
+
+(* For hosts that surface a limit/unwind error as a value (e.g. a send
+   reply) rather than letting it propagate: once delivered, the error
+   is ordinary again and [catch] must work. *)
+let clear_unwinding t = t.unwinding <- false
+
+let denied_count t = t.guard.g_denied
+
+(* One boundary check.  Callers test [guard_active] first, so this only
+   runs when some limit or cancellation is armed.  [spend] is true for a
+   command dispatch (which consumes command budget); script-entry checks
+   pass false.  Returns the error message when evaluation must abort. *)
+let guard_check t ~spend =
+  match t.tripped with
+  | Some k ->
+    t.unwinding <- true;
+    Some (limit_message k)
+  | None -> (
+    match t.cancel_request with
+    | Some (msg, unwind) ->
+      (* Cancellation is one-shot: delivered here, consumed.  Plain
+         cancels are catchable (the script may clean up); -unwind ones
+         propagate through catch like limit errors. *)
+      t.cancel_request <- None;
+      t.unwinding <- unwind;
+      t.guard.g_cancelled <- t.guard.g_cancelled + 1;
+      recompute_guard t;
+      Some msg
+    | None ->
+      let trip k =
+        t.tripped <- Some k;
+        t.unwinding <- true;
+        (match k with
+        | Limit_time -> t.guard.g_time_exceeded <- t.guard.g_time_exceeded + 1
+        | Limit_commands ->
+          t.guard.g_cmd_exceeded <- t.guard.g_cmd_exceeded + 1);
+        Some (limit_message k)
+      in
+      t.guard.g_checks <- t.guard.g_checks + 1;
+      let cmd_hit =
+        spend && t.limit_cmds > 0
+        && begin
+             t.limit_cmds_left <- t.limit_cmds_left - 1;
+             t.limit_cmds_left < 0
+           end
+      in
+      if cmd_hit then trip Limit_commands
+      else if t.limit_time_ms > 0 then begin
+        t.limit_countdown <- t.limit_countdown - 1;
+        if t.limit_countdown <= 0 then begin
+          t.limit_countdown <- t.limit_granularity;
+          if limit_now t >= t.limit_deadline_ms then trip Limit_time
+          else None
+        end
+        else None
+      end
+      else None)
+
+(* ------------------------------------------------------------------ *)
+(* Slave interpreters, hidden commands, aliases *)
+
+let is_safe t = t.safe
+
+let set_safe t flag = t.safe <- flag
+
+let find_slave t name = Hashtbl.find_opt t.slaves name
+
+let slave_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.slaves [])
+
+let add_slave t name slave =
+  (* Guard stats are shared down the tree so an application's metrics see
+     slave activity without walking the tree on every snapshot. *)
+  slave.guard <- t.guard;
+  Hashtbl.replace t.slaves name slave;
+  t.guard.g_creates <- t.guard.g_creates + 1
+
+let rec delete_slave t name =
+  match Hashtbl.find_opt t.slaves name with
+  | None -> false
+  | Some s ->
+    (* Recursive teardown: a master owns its whole subtree. *)
+    List.iter (fun n -> ignore (delete_slave s n)) (slave_names s);
+    Hashtbl.remove t.slaves name;
+    t.guard.g_deletes <- t.guard.g_deletes + 1;
+    true
+
+let rec count_slaves t =
+  Hashtbl.fold (fun _ s acc -> acc + 1 + count_slaves s) t.slaves 0
+
+let rec count_safe_slaves t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc + (if s.safe then 1 else 0) + count_safe_slaves s)
+    t.slaves 0
+
+let hide_command t name =
+  match Hashtbl.find_opt t.commands name with
+  | None ->
+    Stdlib.Error (Printf.sprintf "unknown command \"%s\"" name)
+  | Some def ->
+    if Hashtbl.mem t.hidden name then
+      Stdlib.Error
+        (Printf.sprintf "hidden command named \"%s\" already exists" name)
+    else begin
+      Hashtbl.remove t.commands name;
+      Hashtbl.replace t.hidden name def;
+      Stdlib.Ok ()
+    end
+
+let expose_command ?as_name t name =
+  let exposed = Option.value as_name ~default:name in
+  match Hashtbl.find_opt t.hidden name with
+  | None ->
+    Stdlib.Error (Printf.sprintf "unknown hidden command \"%s\"" name)
+  | Some def ->
+    if Hashtbl.mem t.commands exposed then
+      Stdlib.Error
+        (Printf.sprintf "exposed command \"%s\" already exists" exposed)
+    else begin
+      Hashtbl.remove t.hidden name;
+      Hashtbl.replace t.commands exposed def;
+      Stdlib.Ok ()
+    end
+
+let hidden_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.hidden [])
+
+let note_alias t name target = Hashtbl.replace t.aliases name target
+
+let drop_alias t name = Hashtbl.remove t.aliases name
+
+let alias_target t name = Hashtbl.find_opt t.aliases name
+
+let alias_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.aliases [])
+
+let count_alias_call t = t.guard.g_alias_calls <- t.guard.g_alias_calls + 1
+
+(* ------------------------------------------------------------------ *)
+(* Guard metrics exports *)
+
+let reset_guard_stats t =
+  let g = t.guard in
+  g.g_checks <- 0;
+  g.g_time_exceeded <- 0;
+  g.g_cmd_exceeded <- 0;
+  g.g_cancels <- 0;
+  g.g_cancelled <- 0;
+  g.g_denied <- 0;
+  g.g_recursion_exceeded <- 0;
+  g.g_creates <- 0;
+  g.g_deletes <- 0;
+  g.g_alias_calls <- 0
+
+let limit_stats t =
+  let g = t.guard in
+  [
+    ("checks", string_of_int g.g_checks);
+    ("time_exceeded", string_of_int g.g_time_exceeded);
+    ("cmd_exceeded", string_of_int g.g_cmd_exceeded);
+    ("cancels", string_of_int g.g_cancels);
+    ("cancelled", string_of_int g.g_cancelled);
+    ("denied", string_of_int g.g_denied);
+    ("recursion_exceeded", string_of_int g.g_recursion_exceeded);
+  ]
+
+let interp_stats t =
+  let g = t.guard in
+  [
+    ("slaves", string_of_int (count_slaves t));
+    ("safe_slaves", string_of_int (count_safe_slaves t));
+    ("creates", string_of_int g.g_creates);
+    ("deletes", string_of_int g.g_deletes);
+    ("alias_calls", string_of_int g.g_alias_calls);
+    ("recursionlimit", string_of_int t.recursionlimit);
+    ("time_limit_ms", string_of_int t.limit_time_ms);
+    ("command_limit", string_of_int t.limit_cmds);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Parser / evaluator *)
 
 let is_sep c = Chars.is_space c
@@ -642,10 +990,20 @@ let skip_comment = Chars.skip_comment
    just after it. Returns (status, value, next position). *)
 let rec eval_in t src pos ~bracket =
   let n = String.length src in
-  if t.depth = 0 then t.error_in_progress <- false;
-  if t.depth > max_nesting then
-    (Tcl_error, "too many nested calls to eval (infinite loop?)", n)
+  if t.depth = 0 then begin
+    t.error_in_progress <- false;
+    t.unwinding <- false
+  end;
+  if t.depth > t.recursionlimit then begin
+    t.guard.g_recursion_exceeded <- t.guard.g_recursion_exceeded + 1;
+    (Tcl_error, "too many nested evaluations (infinite loop?)", n)
+  end
   else begin
+    (* Script-entry boundary: catches runaways (e.g. [while 1 {}]) whose
+       bodies never dispatch a command.  No command budget is spent. *)
+    match if t.guard_active then guard_check t ~spend:false else None with
+    | Some msg -> (Tcl_error, msg, n)
+    | None ->
     t.depth <- t.depth + 1;
     let finally () = t.depth <- t.depth - 1 in
     match eval_loop t src n pos ~bracket (Tcl_ok, "") with
@@ -852,29 +1210,49 @@ and invoke t words =
   match words with
   | [] -> (Tcl_ok, "")
   | name :: _ -> (
-    t.cmd_count <- t.cmd_count + 1;
-    match Hashtbl.find_opt t.commands name with
-    | Some (Builtin cmd) -> (
-      try cmd t words with
-      | Tcl_failure msg -> (Tcl_error, msg)
-      | Expr.Error msg -> (Tcl_error, msg)
-      | e -> (
-        match translate_exn e with
-        | Some msg -> (Tcl_error, msg)
-        | None -> raise e))
-    | Some (Proc p) -> call_proc t name p words
-    | None -> (
+    (* Command-dispatch boundary: limits and cancellation are delivered
+       here (spending command budget) before the command runs. *)
+    match if t.guard_active then guard_check t ~spend:true else None with
+    | Some msg -> (Tcl_error, msg)
+    | None ->
+      t.cmd_count <- t.cmd_count + 1;
+      invoke_command t name words)
+
+and run_builtin t cmd words =
+  try cmd t words with
+  | Tcl_failure msg -> (Tcl_error, msg)
+  | Expr.Error msg -> (Tcl_error, msg)
+  | e -> (
+    match translate_exn e with
+    | Some msg -> (Tcl_error, msg)
+    | None -> raise e)
+
+and invoke_command t name words =
+  match Hashtbl.find_opt t.commands name with
+  | Some (Builtin cmd) -> run_builtin t cmd words
+  | Some (Proc p) -> call_proc t name p words
+  | None ->
+    if Hashtbl.mem t.hidden name then begin
+      (* A hidden command is deliberately withheld (safe slave or send
+         guard): report a denial, never fall through to [unknown]. *)
+      t.guard.g_denied <- t.guard.g_denied + 1;
+      ( Tcl_error,
+        Printf.sprintf "permission denied: command \"%s\" is hidden" name )
+    end
+    else (
       match Hashtbl.find_opt t.commands "unknown" with
-      | Some (Builtin cmd) -> (
-        try cmd t ("unknown" :: words) with
-        | Tcl_failure msg -> (Tcl_error, msg)
-        | Expr.Error msg -> (Tcl_error, msg)
-        | e -> (
-          match translate_exn e with
-          | Some msg -> (Tcl_error, msg)
-          | None -> raise e))
+      | Some (Builtin cmd) -> run_builtin t cmd ("unknown" :: words)
       | Some (Proc p) -> call_proc t "unknown" p ("unknown" :: words)
-      | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name)))
+      | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name))
+
+(* Run a hidden command from the trusted side (interp invokehidden). *)
+and invoke_hidden t name words =
+  match Hashtbl.find_opt t.hidden name with
+  | None ->
+    ( Tcl_error,
+      Printf.sprintf "unknown hidden command \"%s\"" name )
+  | Some (Builtin cmd) -> run_builtin t cmd words
+  | Some (Proc p) -> call_proc t name p words
 
 and call_proc t name p words =
   let frame = new_frame () in
@@ -942,10 +1320,18 @@ and run_proc_body t p =
    must match the reference evaluator above. *)
 
 and exec_program t prog =
-  if t.depth = 0 then t.error_in_progress <- false;
-  if t.depth > max_nesting then
-    (Tcl_error, "too many nested calls to eval (infinite loop?)")
+  if t.depth = 0 then begin
+    t.error_in_progress <- false;
+    t.unwinding <- false
+  end;
+  if t.depth > t.recursionlimit then begin
+    t.guard.g_recursion_exceeded <- t.guard.g_recursion_exceeded + 1;
+    (Tcl_error, "too many nested evaluations (infinite loop?)")
+  end
   else begin
+    match if t.guard_active then guard_check t ~spend:false else None with
+    | Some msg -> (Tcl_error, msg)
+    | None ->
     t.depth <- t.depth + 1;
     let finally () = t.depth <- t.depth - 1 in
     match exec_commands t prog (Tcl_ok, "") with

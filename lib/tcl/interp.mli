@@ -113,6 +113,137 @@ val set_time_source : t -> (unit -> float) option -> unit
 val current_time : t -> float
 (** The current reading of the {!set_time_source} clock. *)
 
+(** {1 Resource limits and cancellation}
+
+    A per-interpreter guard enforced at both evaluation boundaries
+    (script entry in the reference evaluator and the compiled fast path)
+    and at every command dispatch. Limits are checked against the
+    {!set_limit_clock} millisecond clock — the toolkit wires the event
+    dispatcher's virtual clock in — and a command-dispatch counter. A
+    tripped limit keeps failing (and propagates through [catch]) until
+    re-armed; cancellation is delivered once at the next boundary. *)
+
+type limit_kind = Limit_time | Limit_commands
+
+val set_limit_clock : t -> (unit -> int) option -> unit
+(** Millisecond clock used for time limits; [None] falls back to the
+    {!set_time_source} clock. *)
+
+val limit_now : t -> int
+(** Current reading of the limit clock, in milliseconds. *)
+
+val limit_clock : t -> (unit -> int) option
+(** The clock installed by {!set_limit_clock} (slaves inherit their
+    master's on creation). *)
+
+val set_time_limit : ?granularity:int -> t -> int -> unit
+(** Arm (or with 0 disarm) a time limit of [ms] milliseconds from now.
+    [granularity] (default 1) checks the clock only every n-th
+    boundary — a cheap knob when the clock read itself is costly. *)
+
+val set_command_limit : t -> int -> unit
+(** Arm (or with 0 disarm) a budget of [n] command dispatches. *)
+
+val rearm_limits : t -> unit
+(** Clear a tripped limit and restart every configured budget (the time
+    deadline restarts from now; the command budget refills). *)
+
+val time_limit : t -> int
+val time_limit_granularity : t -> int
+val command_limit : t -> int
+
+val limit_tripped : t -> limit_kind option
+(** The limit currently tripped, if any (sticky until {!rearm_limits}). *)
+
+val limit_message : limit_kind -> string
+(** ["time limit exceeded"] / ["command count limit exceeded"] — the
+    exact error message evaluation aborts with. *)
+
+val cancel : ?unwind:bool -> ?message:string -> t -> unit
+(** Request asynchronous cancellation: the next evaluation boundary
+    fails with [message] (default ["eval canceled"], or ["eval unwound"]
+    with [~unwind:true]). A plain cancel is catchable by [catch]; an
+    unwinding cancel propagates through it. *)
+
+val cancel_pending : t -> bool
+
+val unwinding : t -> bool
+(** True while a limit or unwinding cancel is propagating — [catch]
+    consults this to let such errors through. Cleared on the next
+    top-level evaluation. *)
+
+val clear_unwinding : t -> unit
+(** End an unwind early: for hosts that deliver the limit error as a
+    value (a guarded send reply) rather than letting it propagate —
+    after delivery the error is ordinary and [catch] works again. *)
+
+val recursion_limit : t -> int
+
+val set_recursion_limit : t -> int -> unit
+(** Maximum nesting depth of evaluations (default 1000); overflow fails
+    with Tcl's ["too many nested evaluations (infinite loop?)"].
+    @raise Tcl_failure if [n < 1]. *)
+
+val denied_count : t -> int
+(** Number of hidden-command invocation denials so far. *)
+
+val reset_guard_stats : t -> unit
+
+val limit_stats : t -> (string * string) list
+(** Counters for the metrics registry ([tcl.limit.*]): boundary checks,
+    time/command trips, cancels requested and delivered, hidden-command
+    denials, recursion overflows. *)
+
+val interp_stats : t -> (string * string) list
+(** Counters for the metrics registry ([tcl.interp.*]): live slave
+    counts, creates/deletes, alias calls, configured limits. *)
+
+(** {1 Slave interpreters}
+
+    A master owns a tree of named slave interpreters (deleted
+    recursively with it). Guard statistics are shared down the tree so
+    an application's metrics aggregate slave activity. The [interp]
+    command ({!Interp_cmd}) is the script-level interface. *)
+
+val is_safe : t -> bool
+val set_safe : t -> bool -> unit
+
+val add_slave : t -> string -> t -> unit
+val find_slave : t -> string -> t option
+val slave_names : t -> string list
+
+val delete_slave : t -> string -> bool
+(** Delete a direct slave and, recursively, its whole subtree. *)
+
+val count_slaves : t -> int
+(** Total slaves in the tree below [t]. *)
+
+val count_safe_slaves : t -> int
+
+(** {1 Hidden commands}
+
+    Hiding moves a command out of the dispatch table: scripts invoking
+    it get a counted ["permission denied"] error (never the [unknown]
+    fallback), while the trusted side can still run it with
+    {!invoke_hidden}. *)
+
+val hide_command : t -> string -> (unit, string) Stdlib.result
+val expose_command : ?as_name:string -> t -> string -> (unit, string) Stdlib.result
+val hidden_names : t -> string list
+val invoke_hidden : t -> string -> string list -> result
+
+(** {1 Aliases}
+
+    Bookkeeping for [interp alias] (the marshalling itself lives in
+    {!Interp_cmd}): which slave commands are aliases and what master
+    target each maps to. *)
+
+val note_alias : t -> string -> string -> unit
+val drop_alias : t -> string -> unit
+val alias_target : t -> string -> string option
+val alias_names : t -> string list
+val count_alias_call : t -> unit
+
 (** {1 Variables} *)
 
 val get_var : t -> string -> string option

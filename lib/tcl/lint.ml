@@ -422,6 +422,37 @@ and apply_signature ctx usrc origin scope ~soft cmd name (s : Interp.signature)
           report ctx off Error "wrong # args: should be \"%s\""
             s.Interp.sig_usage)
     | _ -> ());
+    (* Leading -option switches: only literal words, only up to the
+       first non-switch argument or a "--" terminator, and only when the
+       signature declares an option set (value arguments may legally
+       start with a dash, so commands without a declared set are never
+       checked). *)
+    (match s.Interp.sig_options with
+    | [] -> ()
+    | options ->
+      let start =
+        match (s.Interp.sig_subs, lit_arg cmd 1) with
+        | _ :: _, Some sub
+          when List.exists (fun x -> x.Interp.sub_name = sub)
+                 s.Interp.sig_subs ->
+          2
+        | _ -> 1
+      in
+      let sorted = List.sort String.compare options in
+      let rec scan i =
+        if i <= n then
+          match lit_arg cmd i with
+          | Some w
+            when starts_with "-" w && w <> "--"
+                 && not (String.contains w '%') ->
+            if not (List.mem w options) then
+              report ctx (origin + word_off cmd i) Error
+                "bad option \"%s\": should be %s%s" w
+                (Interp.alternatives sorted) (suggest w sorted)
+            else scan (i + 1)
+          | _ -> ()
+      in
+      scan start);
     (* Per-argument literal validators (e.g. bind event patterns). *)
     List.iter
       (fun { Interp.chk_arg; chk } ->

@@ -126,6 +126,13 @@ let differential_scripts =
     "expr {int(3.9) + abs(-2)}";
     "set n 4; expr {$n * $n}";
     "expr 1 + 2";
+    (* recursion limits (PR7): the overflow error, its catchability and
+       re-arming must look the same from both evaluators *)
+    "interp recursionlimit 30; proc loop {} {loop}; loop";
+    "interp recursionlimit 30; proc loop {} {loop}; list [catch loop m] $m";
+    "interp recursionlimit 20; proc down {n} {if {$n == 0} {return done}; \
+     down [expr {$n - 1}]}; set a [catch {down 100}]; interp recursionlimit \
+     400; list $a [down 100]";
   ]
 
 let differential_tests =
@@ -353,12 +360,41 @@ let binding_tests =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Recursion limit: both evaluators emit Tcl's exact overflow message *)
+
+let overflow_phrase = "too many nested evaluations (infinite loop?)"
+
+let overflow_message ~compile () =
+  let tcl = new_interp ~compile () in
+  Tcl.Interp.set_recursion_limit tcl 25;
+  ignore (run tcl "proc loop {} {loop}");
+  match Tcl.Interp.eval tcl "loop" with
+  | Tcl.Interp.Tcl_error, msg ->
+    let first_line =
+      match String.index_opt msg '\n' with
+      | Some i -> String.sub msg 0 i
+      | None -> msg
+    in
+    check_string "exact Tcl message" overflow_phrase first_line
+  | status, v ->
+    Alcotest.failf "expected overflow error, got %s %S"
+      (match status with Tcl.Interp.Tcl_ok -> "ok" | _ -> "non-error")
+      v
+
+let recursion_tests =
+  [
+    ("overflow message, reference path", overflow_message ~compile:false);
+    ("overflow message, compiled path", overflow_message ~compile:true);
+  ]
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let () =
   Alcotest.run "compile"
     [
       ("differential", List.map (fun (n, f) -> tc n f) differential_tests);
+      ("recursion", List.map (fun (n, f) -> tc n f) recursion_tests);
       ("caches", List.map (fun (n, f) -> tc n f) cache_tests);
       ("time", List.map (fun (n, f) -> tc n f) time_tests);
       ("bindings", List.map (fun (n, f) -> tc n f) binding_tests);

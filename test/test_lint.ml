@@ -121,6 +121,24 @@ let defect_fixtures =
     ( "bind arity",
       "button .b\nbind .b <Button-1> {puts hi} extra",
       "wrong # args" );
+    ( "interp misspelled subcommand",
+      "interp creat mini",
+      "bad option \"creat\"" );
+    ( "interp unknown -safe spelling",
+      "interp create -saef mini",
+      "bad option \"-saef\"" );
+    ( "interp cancel unknown -unwind spelling",
+      "interp cancel -unwnd mini",
+      "bad option \"-unwnd\"" );
+    ( "interp missing subcommand",
+      "interp",
+      "wrong # args" );
+    ( "interp eval arity",
+      "interp eval mini",
+      "wrong # args" );
+    ( "interp hide arity",
+      "interp hide mini exit extra",
+      "wrong # args" );
   ]
 
 let defect_tests =
@@ -172,6 +190,12 @@ let clean_corpus =
     "proc unknown {args} {return \"\"}\nfrobnicate the args";
     "catch {exec ls /nonexistent} out\nputs $out";
     "proc varargs {a args} {return $a}\nvarargs 1 2 3 4";
+    "interp create -safe mini\ninterp eval mini {set x 1}\n\
+     interp delete mini";
+    "interp create worker\nproc respond {q} {return yes}\n\
+     interp alias worker ask {} respond\n\
+     interp limit worker commands -value 1000\n\
+     interp recursionlimit worker 500\ninterp cancel -unwind worker";
   ]
 
 let clean_tests =

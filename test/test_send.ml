@@ -412,6 +412,131 @@ let broadcast_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Guarded send evaluation (PR7): limits and -safe contexts on the
+   receiving side, with the denied/limited outcomes in the taxonomy *)
+
+(* Two apps on one shared virtual clock, like the storm harness: blocking
+   [after] in the receiver advances time for the sender's deadline too. *)
+let fresh_guarded_pair () =
+  let server = Server.create () in
+  let a = new_app ~server ~name:"alpha" () in
+  let b = new_app ~server ~name:"beta" () in
+  let vnow = ref 0.0 in
+  let clock () = !vnow in
+  let sleep ms = vnow := !vnow +. (float_of_int ms /. 1000.0) in
+  List.iter
+    (fun app ->
+      Tk.Dispatch.set_clock app.Tk.Core.disp clock;
+      Tk.Dispatch.set_sleep app.Tk.Core.disp sleep)
+    [ a; b ];
+  Tk.Core.update_all server;
+  (a, b)
+
+let guard_tests =
+  [
+    ( "send guard / send limit surface",
+      fun () ->
+        let _server, a, _b = fresh_pair () in
+        check_string "default off" "off" (run a "send guard");
+        ignore (run a "send guard limits");
+        check_string "limits armed" "limits" (run a "send guard");
+        ignore (run a "send guard safe");
+        check_string "safe mode" "safe" (run a "send guard");
+        ignore (run a "send guard on");
+        check_string "on is limits" "limits" (run a "send guard");
+        ignore (run a "send guard off");
+        check_string "off again" "off" (run a "send guard");
+        check_bool "bad mode rejected" true
+          (contains ~needle:"bad guard mode"
+             (expect_error a "send guard paranoid"));
+        ignore (run a "send limit time 25");
+        check_string "time reads back" "25" (run a "send limit time");
+        ignore (run a "send limit commands 500");
+        check_string "commands reads back" "500" (run a "send limit commands");
+        check_bool "bad limit kind rejected" true
+          (contains ~needle:"bad limit type"
+             (expect_error a "send limit cycles 5")) );
+    ( "command budget kills a CPU runaway from the wire",
+      fun () ->
+        let a, b = fresh_guarded_pair () in
+        ignore (run b "send guard limits");
+        ignore (run b "send limit commands 200");
+        let msg = expect_error a "send beta {while 1 {set spin 1}}" in
+        check_string "limited message"
+          "script in application \"beta\" exceeded its command limit" msg;
+        check_int "sender counted it" 1 (metrics a).Tk.Metrics.sends_limited;
+        check_int "receiver counted it" 1 (metrics b).Tk.Metrics.recv_limited;
+        (* The guard re-arms per request: the receiver is not wedged. *)
+        check_string "receiver still serves" "2" (run a "send beta {expr 1+1}") );
+    ( "time limit kills a clock runaway from the wire",
+      fun () ->
+        let a, b = fresh_guarded_pair () in
+        ignore (run b "send guard limits");
+        ignore (run b "send limit time 25");
+        let msg = expect_error a "send beta {while 1 {after 1}}" in
+        check_string "limited message"
+          "script in application \"beta\" exceeded its time limit" msg;
+        check_string "receiver still serves" "ok"
+          (run a "send beta {set again ok}") );
+    ( "safe guard denies hidden commands and isolates state",
+      fun () ->
+        let a, b = fresh_guarded_pair () in
+        ignore (run b "send guard safe");
+        let msg = expect_error a "send beta {exit 7}" in
+        check_string "denial message"
+          "permission denied: command \"exit\" is hidden" msg;
+        check_int "sender counted denial" 1 (metrics a).Tk.Metrics.sends_denied;
+        check_int "receiver counted denial" 1 (metrics b).Tk.Metrics.recv_denied;
+        (* Benign scripts run, but in the slave: the main interpreter's
+           variables never see them. *)
+        check_string "benign script runs" "99" (run a "send beta {set marker 99}");
+        check_bool "main interp isolated" true
+          (contains ~needle:"no such variable" (expect_error b "set marker")) );
+    ( "guarded self-send matches the wire message byte for byte",
+      fun () ->
+        let server = Server.create () in
+        let solo = new_app ~server ~name:"solo" () in
+        ignore (run solo "send guard limits");
+        ignore (run solo "send limit commands 100");
+        let msg = expect_error solo "send solo {while 1 {set spin 1}}" in
+        check_string "fast-path limited message"
+          "script in application \"solo\" exceeded its command limit" msg;
+        (* The limit unwound the *receiving* evaluation; once delivered
+           as a reply it is an ordinary error the sender can catch —
+           even though sender and receiver share an interpreter here. *)
+        check_string "sender-side catch traps it"
+          "script in application \"solo\" exceeded its command limit"
+          (run solo "catch {send solo {while 1 {set spin 1}}} m; set m") );
+    ( "overflow and limited are distinct outcomes with distinct messages",
+      fun () ->
+        let a, b = fresh_guarded_pair () in
+        ignore (run b "send guard limits");
+        ignore (run b "send limit commands 100");
+        (* A limited reply... *)
+        let limited = expect_error a "send beta {while 1 {set spin 1}}" in
+        (* ...and an overflow refusal from a saturated mailbox: flood
+           asyncs so the batch parses at once, then ask synchronously. *)
+        b.Tk.Core.send.Tk.Core.mailbox_limit <- 2;
+        for _ = 1 to 5 do
+          match Tk.Sendcmd.send_async a ~target:"beta" "set x 1" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "async send failed: %s" e
+        done;
+        let overflow =
+          match
+            Tk.Sendcmd.send_outcome ~timeout_ms:100 a ~target:"beta" "set y 2"
+          with
+          | Tk.Sendcmd.O_overflow v -> v
+          | o -> Alcotest.failf "expected overflow, got %s" (Tk.Sendcmd.outcome_state o)
+        in
+        check_bool "limited names the limit" true
+          (contains ~needle:"exceeded its command limit" limited);
+        check_bool "overflow names the mailbox" true
+          (contains ~needle:"mailbox of application \"beta\" is full" overflow);
+        check_bool "messages are distinct" true (limited <> overflow) );
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* The crash-storm smoke: deterministic, fully resolved, conserved *)
 
 let storm_tests =
@@ -447,6 +572,58 @@ let storm_tests =
                  [ "ok"; "error"; "died"; "timeout"; "overflow";
                    "sender-crashed" ]))
           r1.Tk.Sendstorm.outcomes );
+    ( "200-app hostile storm: every runaway terminates, twice identically",
+      fun () ->
+        (* 1% hostile peers (seeded: two of 200) firing time-runaways,
+           CPU-runaways and forbidden [exit] at a guarded fleet.  Crash
+           and hang are off so the only way a send can fail to resolve
+           quickly is a runaway outliving its budget — of which there
+           must be none. *)
+        let cfg =
+          {
+            Tk.Sendstorm.apps = 200;
+            crash_percent = 0;
+            hang_percent = 0;
+            hostile_percent = 1;
+            sends_per_app = 3;
+            mailbox_limit = 16;
+            timeout_ms = 200;
+            guarded = true;
+            guard_time_ms = 30;
+            guard_cmds = 400;
+            seed = 42;
+          }
+        in
+        let r1 = Tk.Sendstorm.run cfg in
+        let r2 = Tk.Sendstorm.run cfg in
+        check_bool "two runs produce identical counters and outcomes" true
+          (Tk.Sendstorm.counters_equal r1 r2);
+        check_int "no unresolved futures" 0 r1.Tk.Sendstorm.unresolved_futures;
+        let outcome name =
+          try List.assoc name r1.Tk.Sendstorm.outcomes with Not_found -> 0
+        in
+        let counter name =
+          try List.assoc name r1.Tk.Sendstorm.counters with Not_found -> 0
+        in
+        (* Every runaway was terminated by its guard — nothing waited
+           out a deadline, nothing wedged a drain. *)
+        check_int "no timeouts" 0 (outcome "timeout");
+        check_bool "limits tripped" true (outcome "limited" > 0);
+        check_bool "guard checks ran" true (counter "tcl.limit.checks" > 0);
+        check_int "limit trips match the limited outcomes"
+          (outcome "limited")
+          (counter "tcl.limit.time_exceeded"
+          + counter "tcl.limit.cmd_exceeded");
+        check_int "denials match the denied outcomes" (outcome "denied")
+          (counter "tcl.limit.denied");
+        check_bool "benign traffic still flowed" true (outcome "ok" > 0);
+        check_bool "mailboxes drained what they accepted" true
+          (counter "tk.send.mailbox_drained"
+          <= counter "tk.send.mailbox_enqueued");
+        (* The guarded fleet serves follow-up traffic: the guards re-arm
+           per request instead of wedging the receivers. *)
+        check_bool "no losses" true
+          (not (List.mem_assoc "lost" r1.Tk.Sendstorm.outcomes)) );
   ]
 
 let () =
@@ -458,5 +635,6 @@ let () =
       ("mailbox backpressure", List.map (fun (n, f) -> Alcotest.test_case n `Quick f) mailbox_tests);
       ("async and futures", List.map (fun (n, f) -> Alcotest.test_case n `Quick f) async_future_tests);
       ("broadcast", List.map (fun (n, f) -> Alcotest.test_case n `Quick f) broadcast_tests);
+      ("guarded evaluation", List.map (fun (n, f) -> Alcotest.test_case n `Quick f) guard_tests);
       ("crash storm", List.map (fun (n, f) -> Alcotest.test_case n `Quick f) storm_tests);
     ]
