@@ -38,6 +38,17 @@ let time_wall f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* Best-of-N wall time: the ablation workloads run in a few tens of
+   milliseconds, where a single sample is dominated by scheduler noise;
+   the minimum over a handful of repetitions is the stable estimator. *)
+let time_min ?(reps = 5) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let dt = time_wall f in
+    if dt < !best then best := dt
+  done;
+  !best
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -614,9 +625,12 @@ let compile_stat_int tcl key =
   | Some v -> int_of_string v
   | None -> 0
 
-let bench_fib ~n enabled =
+(* [compile] toggles the parse-once layer, [vm] the bytecode VM lowered
+   on top of it (the VM only runs when the compile layer is on). *)
+let bench_fib ~n ~compile ~vm () =
   let tcl = Tcl.Builtins.new_interp () in
-  Tcl.Interp.set_compile_enabled tcl enabled;
+  Tcl.Interp.set_compile_enabled tcl compile;
+  Tcl.Interp.set_vm_enabled tcl vm;
   ignore
     (Tcl.Interp.eval tcl
        "proc fib {n} {\n\
@@ -628,12 +642,13 @@ let bench_fib ~n enabled =
   | Tcl.Interp.Tcl_ok, _ -> ()
   | _, msg -> failwith ("fib bench failed: " ^ msg));
   Tcl.Interp.reset_compile_stats tcl;
-  let dt = time_wall (fun () -> ignore (Tcl.Interp.eval tcl call)) in
-  (dt, compile_stat_int tcl "parse_passes")
+  let dt = time_min (fun () -> ignore (Tcl.Interp.eval tcl call)) in
+  (dt, compile_stat_int tcl "parse_passes", Tcl.Interp.vm_stats tcl)
 
-let bench_while_10k enabled =
+let bench_while_10k ~compile ~vm () =
   let tcl = Tcl.Builtins.new_interp () in
-  Tcl.Interp.set_compile_enabled tcl enabled;
+  Tcl.Interp.set_compile_enabled tcl compile;
+  Tcl.Interp.set_vm_enabled tcl vm;
   let script =
     "set total 0\n\
      set i 0\n\
@@ -646,20 +661,24 @@ let bench_while_10k enabled =
   ignore (Tcl.Interp.eval tcl script);
   Tcl.Interp.reset_compile_stats tcl;
   let dt =
-    time_wall (fun () ->
+    time_min (fun () ->
         match Tcl.Interp.eval tcl script with
         | Tcl.Interp.Tcl_ok, "49995000" -> ()
         | _, v -> failwith ("while bench wrong result: " ^ v))
   in
-  (dt, compile_stat_int tcl "parse_passes")
+  (dt, compile_stat_int tcl "parse_passes", Tcl.Interp.vm_stats tcl)
 
 (* A grid of buttons, each with a key binding; the pointer parks over one
    and a storm of keystrokes dispatches the same binding script. *)
-let bench_binding_storm ~events enabled =
+let bench_binding_storm ~events ~compile ~vm () =
   let server, app =
-    new_display_app (if enabled then "storm-on" else "storm-off")
+    new_display_app
+      (Printf.sprintf "storm-%s-%s"
+         (if compile then "c1" else "c0")
+         (if vm then "v1" else "v0"))
   in
-  Tcl.Interp.set_compile_enabled app.Tk.Core.interp enabled;
+  Tcl.Interp.set_compile_enabled app.Tk.Core.interp compile;
+  Tcl.Interp.set_vm_enabled app.Tk.Core.interp vm;
   let buf = Buffer.create 512 in
   for i = 0 to 11 do
     Buffer.add_string buf (Printf.sprintf "button .b%d -text b%d\n" i i);
@@ -705,12 +724,20 @@ type script_case = {
 let collect_script_cases ~smoke =
   let fib_n = if smoke then 14 else 17 in
   let events = if smoke then 300 else 3000 in
-  let fib_on, fib_on_p = bench_fib ~n:fib_n true in
-  let fib_off, fib_off_p = bench_fib ~n:fib_n false in
-  let wh_on, wh_on_p = bench_while_10k true in
-  let wh_off, wh_off_p = bench_while_10k false in
-  let st_on, st_on_p, st_rate = bench_binding_storm ~events true in
-  let st_off, st_off_p, _ = bench_binding_storm ~events false in
+  (* The compile-cache ablation proper: VM off on both sides so the
+     numbers isolate parse-once from bytecode execution. *)
+  let fib_on, fib_on_p, _ = bench_fib ~n:fib_n ~compile:true ~vm:false () in
+  let fib_off, fib_off_p, _ =
+    bench_fib ~n:fib_n ~compile:false ~vm:false ()
+  in
+  let wh_on, wh_on_p, _ = bench_while_10k ~compile:true ~vm:false () in
+  let wh_off, wh_off_p, _ = bench_while_10k ~compile:false ~vm:false () in
+  let st_on, st_on_p, st_rate =
+    bench_binding_storm ~events ~compile:true ~vm:false ()
+  in
+  let st_off, st_off_p, _ =
+    bench_binding_storm ~events ~compile:false ~vm:false ()
+  in
   [
     {
       sc_name = Printf.sprintf "fib %d (recursive proc)" fib_n;
@@ -737,6 +764,69 @@ let collect_script_cases ~smoke =
       sc_hit_rate = Some st_rate;
     };
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the bytecode VM (PR8). Both sides run with the compile
+   layer on; the off side is exactly what `wish -no-vm` gives. The fib
+   and while workloads are the register-allocation / jump-threading
+   showcases; the binding storm exercises inline-cached global sets on
+   the event-dispatch path. *)
+
+type vm_case = {
+  vm_name : string;
+  vm_on_s : float;
+  vm_off_s : float;
+  vm_counters : (string * string) list; (* tcl.vm.* from the on run *)
+}
+
+let collect_vm_cases ~smoke =
+  let fib_n = if smoke then 14 else 20 in
+  let events = if smoke then 300 else 3000 in
+  let fib_on, _, fib_stats = bench_fib ~n:fib_n ~compile:true ~vm:true () in
+  let fib_off, _, _ = bench_fib ~n:fib_n ~compile:true ~vm:false () in
+  let wh_on, _, wh_stats = bench_while_10k ~compile:true ~vm:true () in
+  let wh_off, _, _ = bench_while_10k ~compile:true ~vm:false () in
+  let st_on, _, _ = bench_binding_storm ~events ~compile:true ~vm:true () in
+  let st_off, _, _ = bench_binding_storm ~events ~compile:true ~vm:false () in
+  [
+    {
+      vm_name = Printf.sprintf "fib %d (recursive proc)" fib_n;
+      vm_on_s = fib_on;
+      vm_off_s = fib_off;
+      vm_counters = fib_stats;
+    };
+    {
+      vm_name = "while 10k accumulate";
+      vm_on_s = wh_on;
+      vm_off_s = wh_off;
+      vm_counters = wh_stats;
+    };
+    {
+      vm_name = Printf.sprintf "binding storm (%d keys)" events;
+      vm_on_s = st_on;
+      vm_off_s = st_off;
+      vm_counters = [];
+    };
+  ]
+
+let vm_ablation () =
+  section "Ablation: bytecode VM on vs off (compile layer on for both)";
+  Printf.printf "%-28s %12s %12s %9s  %s\n" "workload" "vm on" "vm off"
+    "speedup" "tcl.vm.* (on run)";
+  List.iter
+    (fun c ->
+      Printf.printf "%-28s %9.2f ms %9.2f ms %8.1fx  %s\n" c.vm_name
+        (c.vm_on_s *. 1000.0) (c.vm_off_s *. 1000.0)
+        (c.vm_off_s /. Float.max 1e-9 c.vm_on_s)
+        (String.concat " "
+           (List.filter_map
+              (fun (k, v) ->
+                match k with
+                | "compiled" | "deopts" | "slot_hits" ->
+                  Some (Printf.sprintf "%s=%s" k v)
+                | _ -> None)
+              c.vm_counters)))
+    (collect_vm_cases ~smoke:false)
 
 let scripts_ablation () =
   section "Ablation: parse-once script/expr caches on vs off";
@@ -938,6 +1028,25 @@ let emit_json ~path ~smoke =
           | None -> []))
       (collect_script_cases ~smoke)
   in
+  let vm_cases =
+    List.map
+      (fun c ->
+        J_obj
+          ([
+             ("workload", J_string c.vm_name);
+             ("vm_on_ms", J_float (c.vm_on_s *. 1000.0));
+             ("vm_off_ms", J_float (c.vm_off_s *. 1000.0));
+             ("speedup", J_float (c.vm_off_s /. Float.max 1e-9 c.vm_on_s));
+           ]
+          @ List.filter_map
+              (fun (k, v) ->
+                match k with
+                | "compiled" | "deopts" | "slot_hits" ->
+                  Some ("vm_" ^ k, json_of_counter v)
+                | _ -> None)
+              c.vm_counters))
+      (collect_vm_cases ~smoke)
+  in
   let sweep =
     List.map
       (fun n ->
@@ -958,7 +1067,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 7);
+        ("pr", J_int 8);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -1016,6 +1125,7 @@ let emit_json ~path ~smoke =
             ] );
         ("widget_sweep", J_list sweep);
         ("scripts", J_list scripts);
+        ("vm", J_list vm_cases);
         ("send_storm", storm_json ~smoke);
         ( "counters",
           J_obj (List.map (fun (k, v) -> (k, json_of_counter v)) snapshot) );
@@ -1045,6 +1155,7 @@ let full_suite () =
   structcache_ablation ();
   binding_ablation ();
   scripts_ablation ();
+  vm_ablation ();
   optiondb_ablation ();
   print_newline ()
 

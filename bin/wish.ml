@@ -99,6 +99,7 @@ let interactive app =
 let () =
   let args = Array.to_list Sys.argv in
   let no_cache = ref false in
+  let no_vm = ref false in
   let lint = ref false in
   let mailbox = ref 0 in
   let safe_send = ref false in
@@ -117,6 +118,11 @@ let () =
       (* Ablation switch: run everything through the reference
          character-at-a-time evaluator instead of the parse-once cache. *)
       no_cache := true;
+      parse script name stay faults crash_at rest
+    | "-no-vm" :: rest ->
+      (* Ablation switch: keep the parse-once cache but interpret the
+         compiled form directly instead of lowering it to bytecode. *)
+      no_vm := true;
       parse script name stay faults crash_at rest
     | "-faults" :: n :: rest -> (
       match int_of_string_opt n with
@@ -155,7 +161,7 @@ let () =
       Printf.eprintf
         "usage: wish ?-f script? ?-name appName? ?-stay? ?-lint? \
          ?-faults n? ?-crash-at n? ?-mailbox n? ?-safe-send? \
-         ?-limit-ms n? ?-no-compile-cache?\n";
+         ?-limit-ms n? ?-no-compile-cache? ?-no-vm?\n";
       Printf.eprintf "unknown argument: %s\n" arg;
       exit 2
   in
@@ -187,6 +193,7 @@ let () =
       app.Tk.Core.send.Tk.Core.guard_mode <- Tk.Core.Guard_limits
   end;
   if !no_cache then Tcl.Interp.set_compile_enabled app.Tk.Core.interp false;
+  if !no_vm then Tcl.Interp.set_vm_enabled app.Tk.Core.interp false;
   Sim_commands.install app;
   (* Make the command line available as $argv / $argc, as wish does. *)
   Tcl.Interp.set_var app.Tk.Core.interp "argv" "";

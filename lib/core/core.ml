@@ -1169,6 +1169,9 @@ let metrics_snapshot app =
       (fun (k, v) -> ("tcl.compile." ^ k, v))
       (Tcl.Interp.compile_stats app.interp)
   @ List.map
+      (fun (k, v) -> ("tcl.vm." ^ k, v))
+      (Tcl.Interp.vm_stats app.interp)
+  @ List.map
       (fun (k, v) -> ("tcl.lint." ^ k, v))
       (Tcl.Interp.lint_stats app.interp)
   @ List.map
@@ -1189,6 +1192,7 @@ let reset_metrics app =
   Metrics.reset app.metrics;
   Dispatch.reset_counters app.disp;
   Tcl.Interp.reset_compile_stats app.interp;
+  Tcl.Interp.reset_vm_stats app.interp;
   Tcl.Interp.reset_lint_stats app.interp;
   Tcl.Interp.reset_guard_stats app.interp
 

@@ -9,7 +9,9 @@ let rec install t =
   Cmd_file.install t;
   Cmd_regexp.install t;
   Cmd_misc.install t;
-  Interp_cmd.install ~sub_interp:new_interp t
+  Interp_cmd.install ~sub_interp:new_interp t;
+  (* All structural builtins are in place: let the VM inline them. *)
+  Interp.mark_canonical t
 
 and new_interp () =
   let t = Interp.create () in

@@ -5,18 +5,11 @@ let parse_list_exn l =
   | Stdlib.Ok elements -> elements
   | Stdlib.Error msg -> failf "%s" msg
 
-(* A list index: an integer, "end", or "end-N". [len] is the list length. *)
+(* Shared list-index parser (integer, "end", "end-N"); see Tcl_list. *)
 let parse_index len s =
-  let s = String.trim s in
-  if s = "end" then len - 1
-  else if String.length s > 4 && String.sub s 0 4 = "end-" then
-    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
-    | Some k -> len - 1 - k
-    | None -> failf "bad index \"%s\": must be integer or end" s
-  else
-    match int_of_string_opt s with
-    | Some i -> i
-    | None -> failf "bad index \"%s\": must be integer or end" s
+  match Tcl_list.parse_index ~len s with
+  | Stdlib.Ok i -> i
+  | Stdlib.Error msg -> failf "%s" msg
 
 let cmd_list _t = function
   | _ :: args -> Tcl_list.format args
@@ -46,12 +39,19 @@ let cmd_lrange _t = function
         (List.filteri (fun i _ -> i >= first && i <= last) elements)
   | _ -> wrong_args "lrange list first last"
 
+(* [lappend x] with no values returns the variable unchanged (creating
+   it empty if unset, as Tcl does); a whitespace-only current value is
+   an empty list, so appending to it must not leave a leading
+   separator. *)
 let cmd_lappend t = function
   | _ :: name :: values ->
     let current = Option.value (get_var t name) ~default:"" in
     let v =
-      if current = "" then Tcl_list.format values
-      else current ^ " " ^ Tcl_list.format values
+      match values with
+      | [] -> current
+      | _ ->
+        if String.trim current = "" then Tcl_list.format values
+        else current ^ " " ^ Tcl_list.format values
     in
     set_var t name v;
     v
@@ -188,23 +188,42 @@ let install t =
   register_value t "index" cmd_lindex;
   register_value t "range" cmd_lrange;
   register_value t "length" cmd_llength;
+  (* Static index validator for the lint pass: the same grammar as the
+     runtime's Tcl_list.parse_index, applied to literal arguments (the
+     length does not matter for malformed-ness). *)
+  let chk_index i =
+    {
+      chk_arg = i;
+      chk =
+        (fun v ->
+          match Tcl_list.parse_index ~len:0 v with
+          | Stdlib.Ok _ -> None
+          | Stdlib.Error msg -> Some msg);
+    }
+  in
   List.iter (register_signature t)
     [
       signature "list" 0 ~usage:"list ?arg arg ...?";
-      signature "lindex" 2 ~max:2 ~usage:"lindex list index";
+      signature "lindex" 2 ~max:2 ~usage:"lindex list index"
+        ~checks:[ chk_index 2 ];
       signature "llength" 1 ~max:1 ~usage:"llength list";
-      signature "lrange" 3 ~max:3 ~usage:"lrange list first last";
+      signature "lrange" 3 ~max:3 ~usage:"lrange list first last"
+        ~checks:[ chk_index 2; chk_index 3 ];
       signature "lappend" 1 ~usage:"lappend varName ?value value ...?";
-      signature "linsert" 3 ~usage:"linsert list index element ?element ...?";
+      signature "linsert" 3 ~usage:"linsert list index element ?element ...?"
+        ~checks:[ chk_index 2 ];
       signature "lreplace" 3
-        ~usage:"lreplace list first last ?element element ...?";
+        ~usage:"lreplace list first last ?element element ...?"
+        ~checks:[ chk_index 2; chk_index 3 ];
       signature "lsearch" 2 ~max:3 ~usage:"lsearch ?-exact|-glob? list pattern";
       signature "lsort" 1
         ~usage:"lsort ?-ascii|-integer|-real? ?-increasing|-decreasing? list";
       signature "concat" 0 ~usage:"concat ?arg arg ...?";
       signature "split" 1 ~max:2 ~usage:"split string ?splitChars?";
       signature "join" 1 ~max:2 ~usage:"join list ?joinString?";
-      signature "index" 2 ~max:2 ~usage:"lindex list index";
-      signature "range" 3 ~max:3 ~usage:"lrange list first last";
+      signature "index" 2 ~max:2 ~usage:"lindex list index"
+        ~checks:[ chk_index 2 ];
+      signature "range" 3 ~max:3 ~usage:"lrange list first last"
+        ~checks:[ chk_index 2; chk_index 3 ];
       signature "length" 1 ~max:1 ~usage:"llength list";
     ]

@@ -9,10 +9,8 @@ exception Error of string
 
 let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
 
-let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%g" f
+(* Tcl's %.12g default (with a round-trip fallback); see Tval. *)
+let float_to_string = Tval.float_to_string
 
 let to_string = function
   | Int i -> string_of_int i

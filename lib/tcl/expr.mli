@@ -42,6 +42,28 @@ val number_of_string : string -> value option
 (** Parse a string as [Int] or [Float] if possible ([None] otherwise).
     Exposed for the [lsort -integer] style commands. *)
 
+(** {2 Evaluation primitives}
+
+    The building blocks {!eval_ast} is made of, exposed so the bytecode
+    VM ({!Vm}) can evaluate its typed expression IR with exactly the
+    same coercions, short-circuiting and error messages. *)
+
+val operand_value : string -> value
+(** A substituted operand: numeric if it parses as a number, else [Str]. *)
+
+val bool_val : bool -> value
+(** [Int 1] / [Int 0], the result form of comparisons and [&&]/[||]. *)
+
+val apply_binary : string -> value -> value -> value
+(** Apply a (non-short-circuit) binary operator. @raise Error on type
+    errors, divide by zero, or unknown operators. *)
+
+val apply_unary : string -> value -> value
+
+val apply_function : string -> value list -> value
+(** Apply a math function ([sin], [abs], [pow], ...) to its argument
+    values. @raise Error on arity or type errors. *)
+
 (** {2 Parsed-AST entry point}
 
     {!parse} tokenizes an expression once, without performing any
@@ -53,7 +75,17 @@ val number_of_string : string -> value option
     evaluator may run substitutions (with side effects) before reporting
     the same syntax error, and only it reproduces that faithfully. *)
 
-type ast
+type qpart = Q_lit of string | Q_var of string | Q_cmd of string
+
+type ast =
+  | A_const of value
+  | A_var of string
+  | A_cmd of string
+  | A_quoted of qpart list
+  | A_unop of string * ast
+  | A_binop of string * ast * ast
+  | A_ternary of ast * ast * ast
+  | A_func of string * ast list
 
 val parse : string -> (ast, string) result
 (** Parse without evaluating. [Error msg] carries the syntax error the

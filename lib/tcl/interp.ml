@@ -8,6 +8,10 @@ exception Tcl_failure of string
    completion status (e.g. an error in a [$var] or [\[cmd\]] substitution). *)
 exception Propagate of status * string
 
+(* VM variable lookup miss (unbound, link, or array element): a constant
+   exception so the hit path of [vref_cell] never allocates an option. *)
+exception Vm_unbound
+
 let failf fmt = Format.kasprintf (fun msg -> raise (Tcl_failure msg)) fmt
 
 (* Host-embedding hook: foreign exceptions (e.g. the toolkit's X protocol
@@ -25,11 +29,20 @@ let wrong_args usage = failf "wrong # args: should be \"%s\"" usage
 let ok v = (Tcl_ok, v)
 
 type slot =
-  | Scalar of string
+  | Scalar of Tval.t
   | Array_var of (string, string) Hashtbl.t
   | Link of frame * string
 
-and frame = { vars : (string, slot) Hashtbl.t }
+and frame = {
+  vars : (string, slot) Hashtbl.t;
+  mutable fgen : int;
+      (* bumped on every structural change to [vars]; validates the VM's
+         inline variable caches.  In-place writes to an existing Scalar
+         cell do not bump — the cell stays the live binding. *)
+  lnames : string array;
+      (* VM local-slot names ([||] for frames made outside the VM) *)
+  lcells : Tval.t option array;  (* parallel value cells; None = unset *)
+}
 
 (* Counters for the parse-once machinery, exported as tcl.compile.* by
    the toolkit's metrics registry. [parse_passes] counts every full scan
@@ -182,6 +195,15 @@ let fresh_guard_stats () =
     g_alias_calls = 0;
   }
 
+(* Counters for the bytecode VM, exported as tcl.vm.* by the toolkit's
+   metrics registry. *)
+type vm_stats = {
+  mutable v_compiled : int;  (* programs/proc bodies lowered *)
+  mutable v_deopts : int;  (* inlined opcodes that fell back to dispatch *)
+  mutable v_slot_hits : int;  (* variable reads/writes served by a slot
+                                 or a valid inline cache *)
+}
+
 type t = {
   commands : (string, cmd_def) Hashtbl.t;
   signatures : (string, signature) Hashtbl.t;
@@ -233,6 +255,25 @@ type t = {
       (* a limit or unwinding-cancel error is propagating: [catch] must
          let it through instead of stopping it *)
   mutable guard : guard_stats; (* shared by reference across the tree *)
+  (* --- bytecode VM --- *)
+  mutable vm_enabled : bool;
+      (* run lowered opcodes when possible (default on); off = the
+         compiled word-template path — the benchmark ablation's -no-vm *)
+  mutable vm_canon : bool;
+      (* the ten structural builtins are still the canonical ones
+         snapshotted by [mark_canonical]: inlined opcodes may bypass
+         dispatch.  Recomputed on every command-table mutation. *)
+  mutable vm_canon_defs : (string * cmd_def) list;
+  mutable vm_lastcmd : (string * cmd_def) option;
+      (* one-entry dispatch cache for VM command words, keyed by the
+         *physical* name string (lowered literals are interned in the
+         code); cleared on every command-table mutation *)
+  mutable vm_xval : Expr.value option;
+      (* typed-result side channel: a bracketed [expr] reaching the VM
+         leaves its numeric value here so the enclosing expression can
+         skip the string round-trip; None whenever no typed producer
+         ran (consumers then parse the string result as before) *)
+  vm : vm_stats;
 }
 
 and command = t -> string list -> result
@@ -247,9 +288,20 @@ and proc_def = {
   mutable pcode : Compile.program option;
       (* compiled at definition time (or lazily on first call); always
          derived from [body], so redefinition replaces it atomically *)
+  mutable pvm : frame Vm.code option;
+      (* lowered on first VM call; like [pcode], derived from [body] *)
+  mutable pframes : frame list;
+      (* pool of call frames for reuse, bounded by recursion depth: only
+         frames that never spilled into their hashtable (fgen = 0, so no
+         inline cache or link can reference them) are returned here,
+         with their slot cells wiped *)
 }
 
-and script_entry = { code : Compile.program; mutable s_tick : int }
+and script_entry = {
+  code : Compile.program;
+  mutable s_vm : frame Vm.code option;  (* lowered on first VM run *)
+  mutable s_tick : int;
+}
 
 and expr_entry = {
   east : Expr.ast option;
@@ -261,7 +313,42 @@ and expr_entry = {
 
 let default_recursion_limit = 1000
 
-let new_frame () = { vars = Hashtbl.create 16 }
+let new_frame () =
+  { vars = Hashtbl.create 16; fgen = 0; lnames = [||]; lcells = [||] }
+
+(* A frame for a VM-compiled procedure: its local variables live in the
+   cell array, addressed by slot index, until something structural (an
+   upvar link, an array, a variable outside the compiled set) spills
+   into the hashtable and bumps [fgen]. *)
+let vm_frame lnames =
+  {
+    (* Most VM frames never spill a binding: start the table tiny. *)
+    vars = Hashtbl.create 1;
+    fgen = 0;
+    lnames;
+    lcells = Array.make (Array.length lnames) None;
+  }
+
+let bump_fgen f = f.fgen <- f.fgen + 1
+
+(* What the caller does with a VM result's Tcl_ok value.  [Vdiscard]
+   (loop bodies, non-final commands of a block) lets inlined opcodes
+   skip rendering the result string; [Vtyped] (a bracketed [expr \[...\]]
+   operand) additionally lets a final expr leave its numeric value in
+   [vm_xval], skipping the string round-trip entirely.  Error values
+   are never affected. *)
+type wantv = Vdiscard | Vstring | Vtyped
+
+(* Index of [name] in the frame's local-slot table, or -1.  A top-level
+   recursion, not a local one: this runs on every formal bind and a
+   local [rec] would allocate its closure each call. *)
+let rec local_slot_from lnames name n i =
+  if i >= n then -1
+  else if String.equal (Array.unsafe_get lnames i) name then i
+  else local_slot_from lnames name n (i + 1)
+
+let local_slot f name =
+  local_slot_from f.lnames name (Array.length f.lnames) 0
 
 let create () =
   {
@@ -300,6 +387,12 @@ let create () =
     cancel_request = None;
     unwinding = false;
     guard = fresh_guard_stats ();
+    vm_enabled = true;
+    vm_canon = false;
+    vm_canon_defs = [];
+    vm_lastcmd = None;
+    vm_xval = None;
+    vm = { v_compiled = 0; v_deopts = 0; v_slot_hits = 0 };
   }
 
 let current_frame t =
@@ -373,9 +466,13 @@ let rec get_var_in frame name =
     | _ -> None)
   | None -> (
     match Hashtbl.find_opt frame.vars name with
-    | Some (Scalar v) -> Some v
+    | Some (Scalar v) -> Some (Tval.to_string v)
     | Some (Link (f, n)) -> get_var_in f n
-    | Some (Array_var _) | None -> None)
+    | Some (Array_var _) -> None
+    | None -> (
+      match local_slot frame name with
+      | -1 -> None
+      | i -> Option.map Tval.to_string frame.lcells.(i)))
 
 let get_var t name = get_var_in (current_frame t) name
 
@@ -394,14 +491,30 @@ let set_var t name value =
     | Some (Scalar _) ->
       failf "can't set \"%s\": variable isn't array" name
     | Some (Link _) | None ->
+      (match local_slot frame base with
+      | i when i >= 0 && frame.lcells.(i) <> None ->
+        failf "can't set \"%s\": variable isn't array" name
+      | _ -> ());
       let h = Hashtbl.create 8 in
       Hashtbl.replace h idx value;
-      Hashtbl.replace frame.vars base (Array_var h))
+      Hashtbl.replace frame.vars base (Array_var h);
+      bump_fgen frame)
   | None -> (
     match Hashtbl.find_opt frame.vars name with
     | Some (Array_var _) -> failf "can't set \"%s\": variable is array" name
-    | Some (Scalar _) | Some (Link _) | None ->
-      Hashtbl.replace frame.vars name (Scalar value))
+    | Some (Scalar cell) -> Tval.set_string cell value
+    | Some (Link _) ->
+      Hashtbl.replace frame.vars name (Scalar (Tval.of_string value));
+      bump_fgen frame
+    | None -> (
+      match local_slot frame name with
+      | -1 ->
+        Hashtbl.replace frame.vars name (Scalar (Tval.of_string value));
+        bump_fgen frame
+      | i -> (
+        match frame.lcells.(i) with
+        | Some cell -> Tval.set_string cell value
+        | None -> frame.lcells.(i) <- Some (Tval.of_string value))))
 
 let unset_var t name =
   let frame = current_frame t in
@@ -421,6 +534,7 @@ let unset_var t name =
     (* A link to an array element: unset the element, drop the link. *)
     let tframe, target = resolve frame name in
     Hashtbl.remove frame.vars name;
+    bump_fgen frame;
     (match split_array_name target with
     | Some (base, idx) -> (
       let bframe, base = resolve tframe base in
@@ -436,17 +550,36 @@ let unset_var t name =
       (match Hashtbl.find_opt frame.vars name with
       | Some (Link (f, n)) ->
         Hashtbl.remove frame.vars name;
+        bump_fgen frame;
         let f, n = resolve f n in
-        Hashtbl.remove f.vars n
-      | Some _ -> Hashtbl.remove frame.vars name
+        if Hashtbl.mem f.vars n then begin
+          Hashtbl.remove f.vars n;
+          bump_fgen f
+        end
+        else (
+          match local_slot f n with
+          | i when i >= 0 -> f.lcells.(i) <- None
+          | _ -> ())
+      | Some _ ->
+        Hashtbl.remove frame.vars name;
+        bump_fgen frame
       | None -> ());
       true
     end
-    else false
+    else (
+      match local_slot frame name with
+      | i when i >= 0 && frame.lcells.(i) <> None ->
+        frame.lcells.(i) <- None;
+        true
+      | _ -> false)
 
 let var_names t ~local ~global =
   let collect frame =
-    Hashtbl.fold (fun k _ acc -> k :: acc) frame.vars []
+    let cells = ref [] in
+    Array.iteri
+      (fun i n -> if frame.lcells.(i) <> None then cells := n :: !cells)
+      frame.lnames;
+    Hashtbl.fold (fun k _ acc -> k :: acc) frame.vars !cells
   in
   let locals = if local then collect (current_frame t) else [] in
   let globals = if global then collect t.global_frame else [] in
@@ -465,12 +598,51 @@ let link_var t ~target_level ~target ~local =
   | Some target_frame ->
     let frame = current_frame t in
     if frame == target_frame && target = local then ()
-    else Hashtbl.replace frame.vars local (Link (target_frame, target))
+    else begin
+      (* The link shadows (and discards) any VM local cell of that name,
+         exactly as replacing a hashtable binding used to. *)
+      (match local_slot frame local with
+      | i when i >= 0 -> frame.lcells.(i) <- None
+      | _ -> ());
+      Hashtbl.replace frame.vars local (Link (target_frame, target));
+      bump_fgen frame
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Commands *)
 
-let register t name cmd = Hashtbl.replace t.commands name (Builtin cmd)
+(* The structural commands the VM may inline.  [mark_canonical]
+   (called once the builtins are installed) snapshots their
+   definitions; any later mutation of the command table recomputes
+   [vm_canon] by physical comparison, so redefining, renaming, hiding
+   or shadowing one of these immediately routes inlined opcodes back
+   through ordinary dispatch. *)
+let vm_inline_names =
+  [ "set"; "incr"; "expr"; "if"; "while"; "for"; "foreach"; "return";
+    "break"; "continue" ]
+
+let refresh_canon t =
+  t.vm_lastcmd <- None;
+  t.vm_canon <-
+    t.vm_canon_defs <> []
+    && List.for_all
+         (fun (n, d) ->
+           match Hashtbl.find_opt t.commands n with
+           | Some d' -> d' == d
+           | None -> false)
+         t.vm_canon_defs
+
+let mark_canonical t =
+  t.vm_canon_defs <-
+    List.filter_map
+      (fun n ->
+        Option.map (fun d -> (n, d)) (Hashtbl.find_opt t.commands n))
+      vm_inline_names;
+  refresh_canon t
+
+let register t name cmd =
+  Hashtbl.replace t.commands name (Builtin cmd);
+  refresh_canon t
 
 let register_value t name f =
   register t name (fun t words -> ok (f t words))
@@ -526,11 +698,12 @@ let compile_counted t src =
   Compile.compile src
 
 let define_proc t name formals body =
-  let p = { formals; body; pcode = None } in
+  let p = { formals; body; pcode = None; pvm = None; pframes = [] } in
   (* Parse the body once at definition time; a redefinition installs a
      fresh record, so stale code cannot survive. *)
   if t.compile_enabled then p.pcode <- Some (compile_counted t body);
-  Hashtbl.replace t.commands name (Proc p)
+  Hashtbl.replace t.commands name (Proc p);
+  refresh_canon t
 
 let proc_info t name =
   match Hashtbl.find_opt t.commands name with
@@ -540,6 +713,7 @@ let proc_info t name =
 let delete_command t name =
   if Hashtbl.mem t.commands name then begin
     Hashtbl.remove t.commands name;
+    refresh_canon t;
     true
   end
   else false
@@ -552,6 +726,7 @@ let rename_command t old_name new_name =
   | Some def ->
     Hashtbl.remove t.commands old_name;
     if new_name <> "" then Hashtbl.replace t.commands new_name def;
+    refresh_canon t;
     Stdlib.Ok ()
 
 let command_exists t name = Hashtbl.mem t.commands name
@@ -589,11 +764,16 @@ let history_event t n = List.assoc_opt n t.history
 
 (* errorInfo lives in the global frame, like in real Tcl. *)
 let set_error_info t text =
-  Hashtbl.replace t.global_frame.vars "errorInfo" (Scalar text)
+  let f = t.global_frame in
+  match Hashtbl.find_opt f.vars "errorInfo" with
+  | Some (Scalar cell) -> Tval.set_string cell text
+  | _ ->
+    Hashtbl.replace f.vars "errorInfo" (Scalar (Tval.of_string text));
+    bump_fgen f
 
 let get_error_info t =
   match Hashtbl.find_opt t.global_frame.vars "errorInfo" with
-  | Some (Scalar v) -> v
+  | Some (Scalar v) -> Tval.to_string v
   | _ -> ""
 
 (* Record one level of error context: the command whose evaluation
@@ -643,20 +823,21 @@ let evict_oldest (type a) (tbl : (string, a) Hashtbl.t) (tick_of : a -> int) =
     true
   | None -> false
 
-let compiled_program t src =
+let script_entry_for t src =
   match Hashtbl.find_opt t.script_cache src with
   | Some e ->
     t.stats.script_hits <- t.stats.script_hits + 1;
     e.s_tick <- bump_tick t;
-    e.code
+    e
   | None ->
     t.stats.script_misses <- t.stats.script_misses + 1;
     (if Hashtbl.length t.script_cache >= cache_limit then
        if evict_oldest t.script_cache (fun e -> e.s_tick) then
          t.stats.script_evictions <- t.stats.script_evictions + 1);
     let code = compile_counted t src in
-    Hashtbl.add t.script_cache src { code; s_tick = bump_tick t };
-    code
+    let e = { code; s_vm = None; s_tick = bump_tick t } in
+    Hashtbl.add t.script_cache src e;
+    e
 
 let cached_expr_ast t src =
   match Hashtbl.find_opt t.expr_cache src with
@@ -679,6 +860,24 @@ let cached_expr_ast t src =
 let set_compile_enabled t flag = t.compile_enabled <- flag
 
 let compile_enabled t = t.compile_enabled
+
+let set_vm_enabled t flag = t.vm_enabled <- flag
+
+let vm_enabled t = t.vm_enabled
+
+let reset_vm_stats t =
+  t.vm.v_compiled <- 0;
+  t.vm.v_deopts <- 0;
+  t.vm.v_slot_hits <- 0
+
+let vm_stats t =
+  [
+    ("enabled", if t.vm_enabled then "1" else "0");
+    ("canonical", if t.vm_canon then "1" else "0");
+    ("compiled", string_of_int t.vm.v_compiled);
+    ("deopts", string_of_int t.vm.v_deopts);
+    ("slot_hits", string_of_int t.vm.v_slot_hits);
+  ]
 
 let clear_compile_caches t =
   Hashtbl.reset t.script_cache;
@@ -901,6 +1100,7 @@ let hide_command t name =
     else begin
       Hashtbl.remove t.commands name;
       Hashtbl.replace t.hidden name def;
+      refresh_canon t;
       Stdlib.Ok ()
     end
 
@@ -916,6 +1116,7 @@ let expose_command ?as_name t name =
     else begin
       Hashtbl.remove t.hidden name;
       Hashtbl.replace t.commands exposed def;
+      refresh_canon t;
       Stdlib.Ok ()
     end
 
@@ -1255,6 +1456,13 @@ and invoke_hidden t name words =
   | Some (Proc p) -> call_proc t name p words
 
 and call_proc t name p words =
+  if t.compile_enabled && t.vm_enabled && t.vm_canon then
+    (* String-words entry (reference dispatch, eval_words): wrap the
+       actuals; the callee owns the fresh Tvals. *)
+    call_proc_vm t Vstring name p (List.map Tval.of_string (List.tl words))
+  else call_proc_ref t name p words
+
+and call_proc_ref t name p words =
   let frame = new_frame () in
   let actuals = List.tl words in
   (* Bind formals to actuals, handling defaults and the trailing "args". *)
@@ -1264,13 +1472,14 @@ and call_proc t name p words =
     | [], _ :: _ ->
       Some (Printf.sprintf "called \"%s\" with too many arguments" name)
     | [ ("args", _) ], rest ->
-      Hashtbl.replace frame.vars "args" (Scalar (Tcl_list.format rest));
+      Hashtbl.replace frame.vars "args"
+        (Scalar (Tval.of_string (Tcl_list.format rest)));
       None
     | (formal, _) :: tl, v :: rest ->
-      Hashtbl.replace frame.vars formal (Scalar v);
+      Hashtbl.replace frame.vars formal (Scalar (Tval.of_string v));
       bind tl rest
     | (formal, Some default) :: tl, [] ->
-      Hashtbl.replace frame.vars formal (Scalar default);
+      Hashtbl.replace frame.vars formal (Scalar (Tval.of_string default));
       bind tl []
     | (formal, None) :: _, [] ->
       Some
@@ -1281,17 +1490,12 @@ and call_proc t name p words =
   | Some msg -> (Tcl_error, msg)
   | None ->
     t.stack <- frame :: t.stack;
-    let status, v =
+    let res =
       Fun.protect
         ~finally:(fun () -> t.stack <- List.tl t.stack)
         (fun () -> run_proc_body t p)
     in
-    (match status with
-    | Tcl_return | Tcl_ok -> (Tcl_ok, v)
-    | Tcl_break -> (Tcl_error, "invoked \"break\" outside of a loop")
-    | Tcl_continue -> (Tcl_error, "invoked \"continue\" outside of a loop")
-    | Tcl_error ->
-      (Tcl_error, Printf.sprintf "%s\n    (procedure \"%s\")" v name))
+    finish_proc name res
 
 and run_proc_body t p =
   if t.compile_enabled then begin
@@ -1412,8 +1616,927 @@ and exec_nested t prog =
   | Tcl_ok, v -> v
   | status, v -> raise (Propagate (status, v))
 
+(* ------------------------------------------------------------------ *)
+(* Bytecode VM executor.
+
+   Runs {!Vm.code} lowered from the compiled form. The contract is the
+   same as exec_program's: every status, value, errorInfo line, guard
+   delivery and command count must match the reference evaluator. Each
+   inlined structural opcode re-checks [vm_canon] and deopts to the
+   stored original command when set/if/while/... have been redefined. *)
+
+and exec_vm t (want : wantv) (code : frame Vm.code) =
+  if t.depth = 0 then begin
+    t.error_in_progress <- false;
+    t.unwinding <- false
+  end;
+  if t.depth > t.recursionlimit then begin
+    t.guard.g_recursion_exceeded <- t.guard.g_recursion_exceeded + 1;
+    (Tcl_error, "too many nested evaluations (infinite loop?)")
+  end
+  else begin
+    match if t.guard_active then guard_check t ~spend:false else None with
+    | Some msg -> (Tcl_error, msg)
+    | None -> (
+      t.depth <- t.depth + 1;
+      match
+        let insns = code.Vm.insns in
+        if Array.length insns = 1 then exec_vinsn t want insns.(0)
+        else exec_vinsns t insns 0 want (Tcl_ok, "")
+      with
+      | res ->
+        t.depth <- t.depth - 1;
+        res
+      | exception e ->
+        t.depth <- t.depth - 1;
+        raise e)
+  end
+
+and exec_vinsns t insns i want last =
+  let n = Array.length insns in
+  if i >= n then last
+  else
+    match exec_vinsn t (if i = n - 1 then want else Vdiscard) insns.(i) with
+    | (Tcl_ok, _) as res -> exec_vinsns t insns (i + 1) want res
+    | res -> res
+
+(* The value cell directly bound to [name] in frame [f], if any: a
+   hashtable Scalar wins over a local slot (links and arrays have no
+   cell and force the generic variable path). *)
+and slot_find f name =
+  match Hashtbl.find_opt f.vars name with
+  | Some (Scalar cell) -> Some cell
+  | Some _ -> None
+  | None -> (
+    match local_slot f name with
+    | -1 -> None
+    | i -> f.lcells.(i))
+
+(* The value cell for a VM variable reference, or [Vm_unbound] if the
+   name has no direct scalar cell (unbound, link, array element). The
+   unbound signal is a constant exception rather than an option so the
+   ubiquitous hit path allocates nothing. *)
+and vref_cell t (r : frame Vm.vref) : Tval.t =
+  let f = current_frame t in
+  match r with
+  | Vm.Rslot (i, name) ->
+    (* fgen = 0 means the hashtable has never been touched, so the slot
+       cannot be shadowed by a link, array or spilled binding. *)
+    if f.fgen = 0 && i < Array.length f.lcells then (
+      match f.lcells.(i) with
+      | Some c ->
+        t.vm.v_slot_hits <- t.vm.v_slot_hits + 1;
+        c
+      | None -> raise_notrace Vm_unbound)
+    else (
+      match slot_find f name with
+      | Some c -> c
+      | None -> raise_notrace Vm_unbound)
+  | Vm.Rname (name, cache) -> (
+    match !cache with
+    | Some (cf, g, cell) when cf == f && g = f.fgen ->
+      t.vm.v_slot_hits <- t.vm.v_slot_hits + 1;
+      cell
+    | _ -> (
+      match Hashtbl.find_opt f.vars name with
+      | Some (Scalar cell) ->
+        (* Only direct scalar bindings are cached: in-place writes keep
+           the generation, every structural change bumps it. *)
+        cache := Some (f, f.fgen, cell);
+        cell
+      | Some _ -> raise_notrace Vm_unbound
+      | None -> (
+        match local_slot f name with
+        | -1 -> raise_notrace Vm_unbound
+        | i -> (
+          match f.lcells.(i) with
+          | Some c -> c
+          | None -> raise_notrace Vm_unbound))))
+
+and vref_name (r : frame Vm.vref) =
+  match r with Vm.Rslot (_, n) -> n | Vm.Rname (n, _) -> n
+
+and vref_get t r =
+  match vref_cell t r with
+  | cell -> Tval.to_string cell
+  | exception Vm_unbound -> (
+    let name = vref_name r in
+    match get_var t name with
+    | Some v -> v
+    | None -> failf "can't read \"%s\": no such variable" name)
+
+and vref_set t r v =
+  match vref_cell t r with
+  | cell -> Tval.set_string cell v
+  | exception Vm_unbound -> set_var t (vref_name r) v
+
+(* A bracketed script inside an expression; mirrors expr_env.eval_cmd. *)
+and vexpr_cmd t code =
+  match exec_vm t Vstring code with
+  | Tcl_ok, v -> v
+  | _, msg -> raise (Expr.Error msg)
+
+(* Same, as an expression operand: a final expr in the script hands its
+   numeric value over via [vm_xval] (only values whose rendering reparses
+   to themselves are passed, so this is operand_value∘to_string elided);
+   anything else falls back to parsing the string result. *)
+and vexpr_cmd_operand t code =
+  let insns = code.Vm.insns in
+  if
+    Array.length insns = 1
+    && (not t.guard_active)
+    && t.depth > 0
+    && t.depth <= t.recursionlimit
+  then begin
+    (* Fused single-command bracket (the overwhelmingly common shape):
+       exec_vm's prologue reduces to the depth bump — no depth-0 reset
+       (we are nested), no recursion error (checked above), no guard
+       delivery (inactive). *)
+    t.depth <- t.depth + 1;
+    t.vm_xval <- None;
+    match exec_vinsn t Vtyped insns.(0) with
+    | Tcl_ok, v -> (
+      t.depth <- t.depth - 1;
+      match t.vm_xval with
+      | Some xv ->
+        t.vm_xval <- None;
+        xv
+      | None -> Expr.operand_value v)
+    | _, msg ->
+      t.depth <- t.depth - 1;
+      raise (Expr.Error msg)
+    | exception e ->
+      t.depth <- t.depth - 1;
+      raise e
+  end
+  else begin
+    t.vm_xval <- None;
+    match exec_vm t Vtyped code with
+    | Tcl_ok, v -> (
+      match t.vm_xval with
+      | Some xv ->
+        t.vm_xval <- None;
+        xv
+      | None -> Expr.operand_value v)
+    | _, msg -> raise (Expr.Error msg)
+  end
+
+(* Mirror of Expr.eval_ast over the lowered expression IR. The numeric
+   rep cached on a Tval cell feeds operators directly; the string parse
+   it replaces (Tval.parse_num) is the same trim + int_of_string_opt /
+   float_of_string_opt sequence as Expr.number_of_string, so the typed
+   path cannot disagree with the reference's operand_value. *)
+and eval_vexpr t (e : frame Vm.vexpr) : Expr.value =
+  match e with
+  | Vm.Xconst v -> v
+  | Vm.Xvar r -> (
+    match vref_cell t r with
+    | cell -> (
+      match Tval.num cell with
+      | Tval.Nint i -> Expr.Int i
+      | Tval.Ndbl f -> Expr.Float f
+      | _ -> Expr.operand_value (Tval.to_string cell))
+    | exception Vm_unbound -> (
+      let name = vref_name r in
+      match get_var t name with
+      | Some v -> Expr.operand_value v
+      | None ->
+        raise
+          (Expr.Error
+             (Printf.sprintf "can't read \"%s\": no such variable" name))))
+  | Vm.Xcmd code -> vexpr_cmd_operand t code
+  | Vm.Xquoted parts ->
+    let buf = Buffer.create 16 in
+    List.iter
+      (fun (p : frame Vm.qpart) ->
+        match p with
+        | Vm.Ql s -> Buffer.add_string buf s
+        | Vm.Qv name -> (
+          match get_var t name with
+          | Some v -> Buffer.add_string buf v
+          | None ->
+            raise
+              (Expr.Error
+                 (Printf.sprintf "can't read \"%s\": no such variable" name)))
+        | Vm.Qc code -> Buffer.add_string buf (vexpr_cmd t code))
+      parts;
+    Expr.operand_value (Buffer.contents buf)
+  | Vm.Xunop (op, x) -> Expr.apply_unary op (eval_vexpr t x)
+  | Vm.Xbinop ("&&", x, y) ->
+    if Expr.truthy (eval_vexpr t x) then
+      Expr.bool_val (Expr.truthy (eval_vexpr t y))
+    else Expr.bool_val false
+  | Vm.Xbinop ("||", x, y) ->
+    if Expr.truthy (eval_vexpr t x) then Expr.bool_val true
+    else Expr.bool_val (Expr.truthy (eval_vexpr t y))
+  | Vm.Xbinop (op, x, y) -> (
+    let a = eval_vexpr t x in
+    let b = eval_vexpr t y in
+    match (a, b) with
+    | Expr.Int ia, Expr.Int ib -> (
+      (* Int/Int arithmetic wraps and comparisons are integer compares
+         in Expr.apply_binary; these shortcuts are value-identical. *)
+      match op with
+      | "+" -> Expr.Int (ia + ib)
+      | "-" -> Expr.Int (ia - ib)
+      | "*" -> Expr.Int (ia * ib)
+      | "<" -> Expr.bool_val (ia < ib)
+      | ">" -> Expr.bool_val (ia > ib)
+      | "<=" -> Expr.bool_val (ia <= ib)
+      | ">=" -> Expr.bool_val (ia >= ib)
+      | "==" -> Expr.bool_val (ia = ib)
+      | "!=" -> Expr.bool_val (ia <> ib)
+      | _ -> Expr.apply_binary op a b)
+    | _ -> Expr.apply_binary op a b)
+  | Vm.Xternary (c, a, b) ->
+    if Expr.truthy (eval_vexpr t c) then eval_vexpr t a else eval_vexpr t b
+  | Vm.Xfunc (name, args) ->
+    let vals = List.fold_left (fun acc a -> eval_vexpr t a :: acc) [] args in
+    Expr.apply_function name (List.rev vals)
+
+and int_rel op a b =
+  match op with
+  | "<" -> a < b
+  | ">" -> a > b
+  | "<=" -> a <= b
+  | ">=" -> a >= b
+  | "==" -> a = b
+  | _ -> a <> b (* "!=" *)
+
+(* Boolean-producing mirror of [Expr.truthy (eval_vexpr t e)] used for
+   if/while/for conditions: comparisons, &&/|| and ! are evaluated to an
+   unboxed bool.  Each clause is truthy∘eval_vexpr with the intermediate
+   bool_val boxing cancelled, so values and errors are identical; the
+   leading clause further shortcuts the ubiquitous [$i < const] shape
+   through the variable's cached integer rep (reads are effect-free, so
+   the cold fallback may simply re-evaluate the whole condition). *)
+and eval_vcond t (e : frame Vm.vexpr) : bool =
+  match e with
+  | Vm.Xbinop
+      ( (("<" | ">" | "<=" | ">=" | "==" | "!=") as op),
+        Vm.Xvar r,
+        Vm.Xconst (Expr.Int k) ) -> (
+    match vref_cell t r with
+    | cell -> (
+      match Tval.num cell with
+      | Tval.Nint i -> int_rel op i k
+      | _ -> Expr.truthy (eval_vexpr t e))
+    | exception Vm_unbound -> Expr.truthy (eval_vexpr t e))
+  | Vm.Xbinop ((("<" | ">" | "<=" | ">=" | "==" | "!=") as op), x, y) -> (
+    let a = eval_vexpr t x in
+    let b = eval_vexpr t y in
+    match (a, b) with
+    | Expr.Int ia, Expr.Int ib -> int_rel op ia ib
+    | _ -> Expr.truthy (Expr.apply_binary op a b))
+  | Vm.Xbinop ("&&", x, y) -> eval_vcond t x && eval_vcond t y
+  | Vm.Xbinop ("||", x, y) -> eval_vcond t x || eval_vcond t y
+  | Vm.Xunop ("!", x) -> not (eval_vcond t x)
+  | e -> Expr.truthy (eval_vexpr t e)
+
+and vsubst_word t (w : frame Vm.vword) =
+  match w with
+  | Vm.Wlit tv -> Tval.to_string tv
+  | Vm.Wvar r -> vref_get t r
+  | Vm.Wvcmd code -> (
+    match exec_vm t Vstring code with
+    | Tcl_ok, v -> v
+    | status, v -> raise (Propagate (status, v)))
+  | Vm.Wexpr { e; code; orig } ->
+    if t.vm_canon then Expr.to_string (wexpr_val t e orig)
+    else (
+      match exec_vm t Vstring code with
+      | Tcl_ok, v -> v
+      | status, v -> raise (Propagate (status, v)))
+  | Vm.Wgen w -> subst_word t w
+
+(* Typed word substitution for command dispatch: every result is an
+   OWNED Tval (fresh, or a copy whose reps are immutable), so binding
+   one into a callee's variable cell needs no further copy and later
+   writes through other aliases cannot leak in.  The byte-level string
+   of each word is exactly what [vsubst_word] would have produced. *)
+and vsubst_wordv t (w : frame Vm.vword) : Tval.t =
+  match w with
+  | Vm.Wlit tv -> Tval.copy tv
+  | Vm.Wvar r -> (
+    match vref_cell t r with
+    | cell -> Tval.copy cell (* snapshot: later words may write it *)
+    | exception Vm_unbound -> (
+      let name = vref_name r in
+      match get_var t name with
+      | Some v -> Tval.of_string v
+      | None -> failf "can't read \"%s\": no such variable" name))
+  | Vm.Wvcmd code -> (
+    match exec_vm t Vstring code with
+    | Tcl_ok, v -> Tval.of_string v
+    | status, v -> raise (Propagate (status, v)))
+  | Vm.Wexpr { e; code; orig } ->
+    if t.vm_canon then (
+      match e with
+      | Vm.Xbinop ((("+" | "-" | "*") as op), Vm.Xvar r, Vm.Xconst (Expr.Int k))
+        when (not t.guard_active) && t.depth <= t.recursionlimit -> (
+        match vref_cell t r with
+        | cell -> (
+          match Tval.num cell with
+          | Tval.Nint i ->
+            (* Fused [expr {$x op k}] argument: with guards inactive the
+               checks wexpr_val performs reduce to the command count
+               (int arithmetic cannot fail), and the typed result skips
+               both Expr boxing and string rendering. *)
+            t.cmd_count <- t.cmd_count + 1;
+            Tval.of_int
+              (match op with "+" -> i + k | "-" -> i - k | _ -> i * k)
+          | _ -> tval_of_value (wexpr_val t e orig))
+        | exception Vm_unbound -> tval_of_value (wexpr_val t e orig))
+      | _ -> tval_of_value (wexpr_val t e orig))
+    else (
+      match exec_vm t Vstring code with
+      | Tcl_ok, v -> Tval.of_string v
+      | status, v -> raise (Propagate (status, v)))
+  | Vm.Wgen w -> Tval.of_string (subst_word t w)
+
+and tval_of_value (v : Expr.value) =
+  match v with
+  | Expr.Int i -> Tval.of_int i
+  | Expr.Float f -> Tval.of_float f
+  | Expr.Str s -> Tval.of_string s
+
+(* A whole-word [expr ...] bracket whose script is one canonical expr
+   command, evaluated without the exec_vm/Ivk scaffolding.  This is the
+   Wvcmd path (exec_vm prologue + Iexpr opcode) with the constant parts
+   inlined: same depth accounting, same guard deliveries, same command
+   count, same traces — word substitution always runs at depth >= 1, so
+   exec_vm's depth-0 reset can never fire here. *)
+and wexpr_val t (e : frame Vm.vexpr) (orig : Compile.command) : Expr.value =
+  if t.depth > t.recursionlimit then begin
+    t.guard.g_recursion_exceeded <- t.guard.g_recursion_exceeded + 1;
+    raise (Propagate (Tcl_error, "too many nested evaluations (infinite loop?)"))
+  end;
+  (match if t.guard_active then guard_check t ~spend:false else None with
+  | Some msg -> raise (Propagate (Tcl_error, msg))
+  | None -> ());
+  t.depth <- t.depth + 1;
+  match inline_gate t orig.Compile.text with
+  | Some msg ->
+    t.depth <- t.depth - 1;
+    raise (Propagate (Tcl_error, msg))
+  | None -> (
+    match eval_vexpr t e with
+    | v ->
+      t.depth <- t.depth - 1;
+      v
+    | exception exn ->
+      t.depth <- t.depth - 1;
+      (match exn with
+      | Tcl_failure msg | Expr.Error msg ->
+        trace_error t ~command:orig.Compile.text msg;
+        raise (Propagate (Tcl_error, msg))
+      | exn -> raise exn))
+
+and vsubst_wordsv t ws acc =
+  match ws with
+  | [] -> List.rev acc
+  | [ w ] when acc == [] -> [ vsubst_wordv t w ]
+  | w :: rest -> vsubst_wordsv t rest (vsubst_wordv t w :: acc)
+
+(* A substitution failure before dispatch: errorInfo starts with the
+   bare message, exactly as exec_command's handler does. *)
+and subst_fail t msg =
+  if not t.error_in_progress then begin
+    t.error_in_progress <- true;
+    set_error_info t msg
+  end;
+  (Tcl_error, msg)
+
+and deopt t orig =
+  t.vm.v_deopts <- t.vm.v_deopts + 1;
+  exec_command t orig
+
+(* Run an inlined structural command with the same guard delivery,
+   command accounting and error tracing a dispatched command gets from
+   invoke + exec_command. *)
+and run_inline t ~text f =
+  match if t.guard_active then guard_check t ~spend:true else None with
+  | Some msg ->
+    trace_error t ~command:text msg;
+    (Tcl_error, msg)
+  | None -> (
+    t.cmd_count <- t.cmd_count + 1;
+    match f () with
+    | (Tcl_error, v) as res ->
+      trace_error t ~command:text v;
+      res
+    | res -> res
+    | exception Tcl_failure msg ->
+      trace_error t ~command:text msg;
+      (Tcl_error, msg)
+    | exception Expr.Error msg ->
+      trace_error t ~command:text msg;
+      (Tcl_error, msg))
+
+(* Closure-free slice of run_inline for the hot opcodes: delivers the
+   guard (spending) and counts the command; Some msg is an already
+   traced refusal.  The caller must trace its own errors. *)
+and inline_gate t text =
+  match if t.guard_active then guard_check t ~spend:true else None with
+  | Some msg ->
+    trace_error t ~command:text msg;
+    Some msg
+  | None ->
+    t.cmd_count <- t.cmd_count + 1;
+    None
+
+and inline_fail t text msg =
+  trace_error t ~command:text msg;
+  (Tcl_error, msg)
+
+and incr_bad_value (dst : frame Vm.vref) s =
+  failf
+    "expected integer but got \"%s\" (reading value of variable \"%s\" to \
+     increment)"
+    s (vref_name dst)
+
+(* The post-gate body of an inlined [incr]: bump the destination's
+   cached int in place, or fall back to the string path for spilled
+   bindings. *)
+and vm_incr_apply t want (dst : frame Vm.vref) amount =
+  match vref_cell t dst with
+  | cell -> (
+    match Tval.num cell with
+    | Tval.Nint cur ->
+      Tval.set_int cell (cur + amount);
+      (match want with
+      | Vdiscard -> (Tcl_ok, "")
+      | _ -> (Tcl_ok, Tval.to_string cell))
+    | _ -> incr_bad_value dst (Tval.to_string cell))
+  | exception Vm_unbound -> (
+    let s = get_var_exn t (vref_name dst) in
+    match int_of_string_opt (String.trim s) with
+    | Some cur ->
+      let v = string_of_int (cur + amount) in
+      set_var t (vref_name dst) v;
+      (Tcl_ok, v)
+    | None -> incr_bad_value dst s)
+
+and vm_incr t want dst amount orig =
+  match inline_gate t orig.Compile.text with
+  | Some msg -> (Tcl_error, msg)
+  | None -> (
+    match vm_incr_apply t want dst amount with
+    | res -> res
+    | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg)
+
+and vm_incr_word t want dst s orig =
+  match inline_gate t orig.Compile.text with
+  | Some msg -> (Tcl_error, msg)
+  | None -> (
+    match
+      (* Amount first, then current value: cmd_incr's order. *)
+      match int_of_string_opt (String.trim s) with
+      | Some amount -> vm_incr_apply t want dst amount
+      | None -> failf "expected integer but got \"%s\" (reading increment)" s
+    with
+    | res -> res
+    | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg)
+
+(* Structural loop/branch bodies, lifted out of exec_vinsn so the hot
+   opcodes don't allocate a local closure per execution. *)
+and vm_if_arms t want arms els =
+  match arms with
+  | (cond, body) :: rest ->
+    if eval_vcond t cond then vm_exec_block t want body
+    else vm_if_arms t want rest els
+  | [] -> (
+    match els with
+    | Some body -> vm_exec_block t want body
+    | None -> (Tcl_ok, ""))
+
+(* exec_vm for a nested structural block (if arm, loop body): when the
+   block is a single instruction and no guard is armed, the prologue
+   reduces to the depth bump — the depth-0 reset cannot apply (we are
+   nested) and the recursion error is checked here. *)
+and vm_exec_block t want (code : frame Vm.code) =
+  let insns = code.Vm.insns in
+  if
+    Array.length insns = 1
+    && (not t.guard_active)
+    && t.depth > 0
+    && t.depth <= t.recursionlimit
+  then begin
+    t.depth <- t.depth + 1;
+    match exec_vinsn t want insns.(0) with
+    | res ->
+      t.depth <- t.depth - 1;
+      res
+    | exception e ->
+      t.depth <- t.depth - 1;
+      raise e
+  end
+  else exec_vm t want code
+
+and vm_while_loop t cond body =
+  if eval_vcond t cond then (
+    match vm_exec_block t Vdiscard body with
+    | (Tcl_ok, _) | (Tcl_continue, _) -> vm_while_loop t cond body
+    | Tcl_break, _ -> (Tcl_ok, "")
+    | res -> res)
+  else (Tcl_ok, "")
+
+and vm_for_loop t cond next body =
+  if eval_vcond t cond then (
+    match vm_exec_block t Vdiscard body with
+    | (Tcl_ok, _) | (Tcl_continue, _) -> (
+      match vm_exec_block t Vdiscard next with
+      | (Tcl_error, _) as r -> r
+      | _ -> vm_for_loop t cond next body)
+    | Tcl_break, _ -> (Tcl_ok, "")
+    | res -> res)
+  else (Tcl_ok, "")
+
+and exec_vinsn t (want : wantv) (insn : frame Vm.insn) =
+  match insn with
+  | Vm.Ivk { vwords = [ Vm.Wlit nametv; w1 ]; orig } -> (
+    (* One-argument call to a literal name (`cmd $x`, `fib [expr ...]`):
+       dispatch without materializing the words list. *)
+    match vsubst_wordv t w1 with
+    | exception Propagate (status, v) -> (status, v)
+    | exception Tcl_failure msg -> subst_fail t msg
+    | v1 -> (
+      match invoke_vm1 t want nametv v1 with
+      | (Tcl_error, v) as res ->
+        trace_error t ~command:orig.Compile.text v;
+        res
+      | res -> res))
+  | Vm.Ivk { vwords; orig } -> (
+    match
+      (* A literal command-name word is passed shared, not copied: the
+         callee never binds the head (procs bind the tail, builtins
+         take string copies), and keeping the same physical string rep
+         preserves the one-entry dispatch-cache hit. *)
+      match vwords with
+      | Vm.Wlit nametv :: rest -> nametv :: vsubst_wordsv t rest []
+      | _ -> vsubst_wordsv t vwords []
+    with
+    | exception Propagate (status, v) -> (status, v)
+    | exception Tcl_failure msg -> subst_fail t msg
+    | [] -> (Tcl_ok, "")
+    | words -> (
+      match invoke_vm t want words with
+      | (Tcl_error, v) as res ->
+        trace_error t ~command:orig.Compile.text v;
+        res
+      | res -> res))
+  | Vm.Iset { dst; value; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match value with
+      | None -> (
+        match inline_gate t orig.Compile.text with
+        | Some msg -> (Tcl_error, msg)
+        | None -> (
+          match vref_get t dst with
+          | v -> (Tcl_ok, v)
+          | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg))
+      | Some w -> (
+        match vsubst_word t w with
+        | exception Propagate (status, v) -> (status, v)
+        | exception Tcl_failure msg -> subst_fail t msg
+        | v -> (
+          match inline_gate t orig.Compile.text with
+          | Some msg -> (Tcl_error, msg)
+          | None -> (
+            match vref_set t dst v with
+            | () -> (Tcl_ok, v)
+            | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg))))
+  | Vm.Iincr { dst; by; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match by with
+      | Vm.Aconst amount -> vm_incr t want dst amount orig
+      | Vm.Aword (Vm.Wvar r as w) -> (
+        (* Pull the increment straight from the variable's cached int
+           rep; parse_num is trim + int_of_string_opt, so a cell that
+           is not Nint is exactly one whose string form cmd_incr would
+           reject — fall through with that string.  An unbound var
+           takes the generic subst path to fail identically. *)
+        match vref_cell t r with
+        | cell -> (
+          match Tval.num cell with
+          | Tval.Nint amount -> vm_incr t want dst amount orig
+          | _ -> vm_incr_word t want dst (Tval.to_string cell) orig)
+        | exception Vm_unbound -> (
+          match vsubst_word t w with
+          | s -> vm_incr_word t want dst s orig
+          | exception Propagate (status, v) -> (status, v)
+          | exception Tcl_failure msg -> subst_fail t msg))
+      | Vm.Aword w -> (
+        match vsubst_word t w with
+        | s -> vm_incr_word t want dst s orig
+        | exception Propagate (status, v) -> (status, v)
+        | exception Tcl_failure msg -> subst_fail t msg))
+  | Vm.Iexpr { e; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match inline_gate t orig.Compile.text with
+      | Some msg -> (Tcl_error, msg)
+      | None -> (
+        match eval_vexpr t e with
+        | v -> (
+          match want with
+          | Vdiscard -> (Tcl_ok, "")
+          | Vstring -> (Tcl_ok, Expr.to_string v)
+          | Vtyped -> (
+            (* Hand numeric values to the consuming expression via the
+               side channel; their rendering reparses to the same value,
+               so this elides operand_value∘to_string.  A Str result
+               could reparse differently, so it goes through strings. *)
+            match v with
+            | Expr.Int _ | Expr.Float _ ->
+              t.vm_xval <- Some v;
+              (Tcl_ok, "")
+            | Expr.Str _ -> (Tcl_ok, Expr.to_string v)))
+        | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg
+        | exception Expr.Error msg -> inline_fail t orig.Compile.text msg))
+  | Vm.Iif { arms; els; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match inline_gate t orig.Compile.text with
+      | Some msg -> (Tcl_error, msg)
+      | None -> (
+        match vm_if_arms t want arms els with
+        | (Tcl_error, v) as res ->
+          trace_error t ~command:orig.Compile.text v;
+          res
+        | res -> res
+        | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg
+        | exception Expr.Error msg -> inline_fail t orig.Compile.text msg))
+  | Vm.Iwhile { cond; body; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match inline_gate t orig.Compile.text with
+      | Some msg -> (Tcl_error, msg)
+      | None -> (
+        match vm_while_loop t cond body with
+        | (Tcl_error, v) as res ->
+          trace_error t ~command:orig.Compile.text v;
+          res
+        | res -> res
+        | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg
+        | exception Expr.Error msg -> inline_fail t orig.Compile.text msg))
+  | Vm.Ifor { init; cond; next; body; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match inline_gate t orig.Compile.text with
+      | Some msg -> (Tcl_error, msg)
+      | None -> (
+        match
+          match exec_vm t Vdiscard init with
+          | (Tcl_error, _) as r -> r
+          | _ -> vm_for_loop t cond next body
+        with
+        | (Tcl_error, v) as res ->
+          trace_error t ~command:orig.Compile.text v;
+          res
+        | res -> res
+        | exception Tcl_failure msg -> inline_fail t orig.Compile.text msg
+        | exception Expr.Error msg -> inline_fail t orig.Compile.text msg))
+  | Vm.Iforeach { dst; items; body; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match
+        match items with
+        | Vm.Lconst l -> `List l
+        | Vm.Lword w -> `Raw (vsubst_word t w)
+      with
+      | exception Propagate (status, v) -> (status, v)
+      | exception Tcl_failure msg -> subst_fail t msg
+      | items ->
+        run_inline t ~text:orig.Compile.text (fun () ->
+            match
+              match items with
+              | `List l -> Stdlib.Ok l
+              | `Raw s -> Tcl_list.parse s
+            with
+            | Stdlib.Error msg -> (Tcl_error, msg)
+            | Stdlib.Ok elements ->
+              let rec go = function
+                | [] -> (Tcl_ok, "")
+                | e :: rest -> (
+                  vref_set t dst e;
+                  match exec_vm t Vdiscard body with
+                  | (Tcl_ok, _) | (Tcl_continue, _) -> go rest
+                  | Tcl_break, _ -> (Tcl_ok, "")
+                  | res -> res)
+              in
+              go elements))
+  | Vm.Ireturn { value; orig } ->
+    if not t.vm_canon then deopt t orig
+    else (
+      match value with
+      | None -> (
+        match inline_gate t orig.Compile.text with
+        | Some msg -> (Tcl_error, msg)
+        | None -> (Tcl_return, ""))
+      | Some w -> (
+        match vsubst_word t w with
+        | exception Propagate (status, v) -> (status, v)
+        | exception Tcl_failure msg -> subst_fail t msg
+        | v -> (
+          match inline_gate t orig.Compile.text with
+          | Some msg -> (Tcl_error, msg)
+          | None -> (Tcl_return, v))))
+  | Vm.Ibreak { orig } ->
+    if not t.vm_canon then deopt t orig
+    else run_inline t ~text:orig.Compile.text (fun () -> (Tcl_break, ""))
+  | Vm.Icontinue { orig } ->
+    if not t.vm_canon then deopt t orig
+    else run_inline t ~text:orig.Compile.text (fun () -> (Tcl_continue, ""))
+
+(* Lowered code for a procedure body, built on first VM call and cached
+   on the proc record (a redefinition installs a fresh record). *)
+and proc_vm_code t p =
+  match p.pvm with
+  | Some code -> code
+  | None ->
+    let pcode =
+      match p.pcode with
+      | Some code -> code
+      | None ->
+        let code = compile_counted t p.body in
+        p.pcode <- Some code;
+        code
+    in
+    let code =
+      Vm.lower_proc
+        ~compile:(fun s -> compile_counted t s)
+        ~formals:(List.map fst p.formals)
+        pcode
+    in
+    t.vm.v_compiled <- t.vm.v_compiled + 1;
+    p.pvm <- Some code;
+    code
+
+(* Typed command dispatch for VM-executed scripts: invoke with the same
+   guard delivery and accounting, but the substituted words stay Tvals
+   (each one owned by the callee) so a proc binds them — numeric reps
+   and all — without a string round-trip.  A one-entry cache keyed by
+   the physical name string (lowered literal words intern it) elides
+   the table lookup on straight-line dispatch. *)
+and invoke_vm t want (words : Tval.t list) =
+  match words with
+  | [] -> (Tcl_ok, "")
+  | nametv :: _ -> (
+    match if t.guard_active then guard_check t ~spend:true else None with
+    | Some msg -> (Tcl_error, msg)
+    | None -> (
+      t.cmd_count <- t.cmd_count + 1;
+      let name = Tval.to_string nametv in
+      match t.vm_lastcmd with
+      | Some (n, d) when n == name -> dispatch_vm t want name d words
+      | _ -> (
+        match Hashtbl.find_opt t.commands name with
+        | Some d ->
+          t.vm_lastcmd <- Some (name, d);
+          dispatch_vm t want name d words
+        | None -> invoke_vm_missing t name words)))
+
+(* Single-argument dispatch: the same guard/count/cache sequence as
+   invoke_vm, with the words list only materialized off the fast
+   proc path. *)
+and invoke_vm1 t want (nametv : Tval.t) (v1 : Tval.t) =
+  match if t.guard_active then guard_check t ~spend:true else None with
+  | Some msg -> (Tcl_error, msg)
+  | None -> (
+    t.cmd_count <- t.cmd_count + 1;
+    let name = Tval.to_string nametv in
+    match t.vm_lastcmd with
+    | Some (n, d) when n == name -> dispatch_vm1 t want name d v1
+    | _ -> (
+      match Hashtbl.find_opt t.commands name with
+      | Some d ->
+        t.vm_lastcmd <- Some (name, d);
+        dispatch_vm1 t want name d v1
+      | None -> invoke_vm_missing t name [ nametv; v1 ]))
+
+and invoke_vm_missing t name (words : Tval.t list) =
+  if Hashtbl.mem t.hidden name then begin
+    t.guard.g_denied <- t.guard.g_denied + 1;
+    (Tcl_error, Printf.sprintf "permission denied: command \"%s\" is hidden" name)
+  end
+  else (
+    let swords = List.map Tval.to_string words in
+    match Hashtbl.find_opt t.commands "unknown" with
+    | Some (Builtin cmd) -> run_builtin t cmd ("unknown" :: swords)
+    | Some (Proc p) -> call_proc t "unknown" p ("unknown" :: swords)
+    | None -> (Tcl_error, Printf.sprintf "invalid command name \"%s\"" name))
+
+and dispatch_vm t want name d words =
+  match d with
+  | Builtin cmd -> run_builtin t cmd (List.map Tval.to_string words)
+  | Proc p ->
+    if t.compile_enabled && t.vm_enabled && t.vm_canon then
+      call_proc_vm t want name p (List.tl words)
+    else call_proc_ref t name p (List.map Tval.to_string words)
+
+and dispatch_vm1 t want name d (v1 : Tval.t) =
+  match d with
+  | Proc p when t.compile_enabled && t.vm_enabled && t.vm_canon ->
+    call_proc_vm1 t want name p v1
+  | Builtin cmd -> run_builtin t cmd [ name; Tval.to_string v1 ]
+  | Proc p -> call_proc_ref t name p [ name; Tval.to_string v1 ]
+
+(* Formals usually have slots; one that missed (paren name, slot
+   table full) binds in the hashtable like the reference does. *)
+and vm_set_slot frame fname tv =
+  match local_slot frame fname with
+  | i when i >= 0 -> frame.lcells.(i) <- Some tv
+  | _ ->
+    Hashtbl.replace frame.vars fname (Scalar tv);
+    bump_fgen frame
+
+and vm_bind_formals frame name formals actuals =
+  match (formals, actuals) with
+  | [], [] -> None
+  | [], _ :: _ ->
+    Some (Printf.sprintf "called \"%s\" with too many arguments" name)
+  | [ ("args", _) ], rest ->
+    vm_set_slot frame "args"
+      (Tval.of_string (Tcl_list.format (List.map Tval.to_string rest)));
+    None
+  | (formal, _) :: tl, v :: rest ->
+    vm_set_slot frame formal v;
+    vm_bind_formals frame name tl rest
+  | (formal, Some default) :: tl, [] ->
+    vm_set_slot frame formal (Tval.of_string default);
+    vm_bind_formals frame name tl []
+  | (formal, None) :: _, [] ->
+    Some
+      (Printf.sprintf "no value given for parameter \"%s\" to \"%s\"" formal
+         name)
+
+and vm_take_frame p (code : frame Vm.code) =
+  match p.pframes with
+  | f :: rest when f.lnames == code.Vm.locals ->
+    p.pframes <- rest;
+    f
+  | _ -> vm_frame code.Vm.locals
+
+and run_proc_frame t want name p (code : frame Vm.code) frame =
+  t.stack <- frame :: t.stack;
+  match exec_vm t want code with
+  | res ->
+    t.stack <- List.tl t.stack;
+    (* Recycle the frame unless something structural happened to it:
+       a spilled binding (upvar link, array, overflow) means inline
+       caches or links may still reference it, so let it go. *)
+    if frame.fgen = 0 then begin
+      Array.fill frame.lcells 0 (Array.length frame.lcells) None;
+      p.pframes <- frame :: p.pframes
+    end;
+    finish_proc name res
+  | exception e ->
+    t.stack <- List.tl t.stack;
+    raise e
+
+and call_proc_vm t want name p (actuals : Tval.t list) =
+  let code = proc_vm_code t p in
+  let frame = vm_take_frame p code in
+  match vm_bind_formals frame name p.formals actuals with
+  | Some msg -> (Tcl_error, msg)
+  | None -> run_proc_frame t want name p code frame
+
+(* One-argument call with the words list elided: binds the single
+   formal straight from the substituted Tval. *)
+and call_proc_vm1 t want name p (v1 : Tval.t) =
+  match p.formals with
+  | [ (formal, _) ] when not (String.equal formal "args") ->
+    let code = proc_vm_code t p in
+    let frame = vm_take_frame p code in
+    vm_set_slot frame formal v1;
+    run_proc_frame t want name p code frame
+  | _ -> call_proc_vm t want name p [ v1 ]
+
+and finish_proc name ((status, v) as res) =
+  match status with
+  | Tcl_ok -> res
+  | Tcl_return -> (Tcl_ok, v)
+  | Tcl_break -> (Tcl_error, "invoked \"break\" outside of a loop")
+  | Tcl_continue -> (Tcl_error, "invoked \"continue\" outside of a loop")
+  | Tcl_error -> (Tcl_error, Printf.sprintf "%s\n    (procedure \"%s\")" v name)
+
 let eval t src =
-  if t.compile_enabled then exec_program t (compiled_program t src)
+  if t.compile_enabled then begin
+    let e = script_entry_for t src in
+    if t.vm_enabled && t.vm_canon then
+      exec_vm t Vstring
+        (match e.s_vm with
+        | Some code -> code
+        | None ->
+          let code = Vm.lower ~compile:(fun s -> compile_counted t s) e.code in
+          t.vm.v_compiled <- t.vm.v_compiled + 1;
+          e.s_vm <- Some code;
+          code)
+    else exec_program t e.code
+  end
   else begin
     t.stats.parse_passes <- t.stats.parse_passes + 1;
     let status, v, _ = eval_in t src 0 ~bracket:false in

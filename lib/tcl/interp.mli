@@ -105,6 +105,29 @@ val compile_stats : t -> (string * string) list
     cache sizes, and the total number of parse passes over script
     text. *)
 
+val set_vm_enabled : t -> bool -> unit
+(** Toggle the bytecode VM (default on; effective only while the
+    compile layer is also on). Off routes compiled programs through the
+    tree-walking executor — the [-no-vm] ablation and differential
+    tests use this. *)
+
+val vm_enabled : t -> bool
+
+val reset_vm_stats : t -> unit
+
+val vm_stats : t -> (string * string) list
+(** Counters for the metrics registry ([tcl.vm.*]): whether the VM is
+    enabled and currently canonical, lowered code objects built,
+    per-instruction deopts to dispatched commands, and variable
+    accesses served by local slots or inline caches. *)
+
+val mark_canonical : t -> unit
+(** Snapshot the current definitions of the structural commands the VM
+    inlines ([set], [incr], [expr], [if], [while], [for], [foreach],
+    [return], [break], [continue]). Called once after the builtins are
+    installed; any later redefinition, rename, hide or deletion of one
+    of them routes the inlined opcodes back through normal dispatch. *)
+
 val set_time_source : t -> (unit -> float) option -> unit
 (** Pluggable clock (in seconds) for the [time] command; [None] restores
     [Sys.time]. The toolkit points this at the event dispatcher's clock

@@ -119,6 +119,26 @@ let format elements = String.concat " " (List.map quote_element elements)
 
 let length s = Result.map List.length (parse s)
 
+(* A list index: an integer, "end", or "end-N" with N a plain
+   non-negative integer.  "end-" and "end--1" are malformed ("bad
+   index"), matching Tcl; every list command shares this parser so
+   out-of-range and malformed indices error identically everywhere. *)
+let parse_index ~len s =
+  let s = String.trim s in
+  let bad () =
+    Stdlib.Error (Printf.sprintf "bad index \"%s\": must be integer or end" s)
+  in
+  if s = "end" then Ok (len - 1)
+  else if String.length s >= 4 && String.sub s 0 4 = "end-" then
+    let suffix = String.sub s 4 (String.length s - 4) in
+    if suffix <> "" && String.for_all (fun c -> c >= '0' && c <= '9') suffix
+    then
+      match int_of_string_opt suffix with
+      | Some k -> Ok (len - 1 - k)
+      | None -> bad ()
+    else bad ()
+  else match int_of_string_opt s with Some i -> Ok i | None -> bad ()
+
 let index s i =
   match parse s with
   | Error _ as e -> e

@@ -157,6 +157,9 @@ let cache_tests =
     ( "loop bodies share one cache entry across iterations",
       fun () ->
         let tcl = new_interp ~compile:true () in
+        (* Counts per-iteration hits from the tree-walking executor;
+           the VM runs lowered bodies without consulting the cache. *)
+        Tcl.Interp.set_vm_enabled tcl false;
         ignore (run tcl "set i 0; while {$i < 100} {incr i}");
         (* The while body and condition each miss once, then hit. *)
         check_bool "hits dominate" true
@@ -216,6 +219,8 @@ let cache_tests =
     ( "expr ASTs are cached and reused",
       fun () ->
         let tcl = new_interp ~compile:true () in
+        (* Same: the VM evaluates its own typed expression IR. *)
+        Tcl.Interp.set_vm_enabled tcl false;
         ignore (run tcl "set i 0; while {$i < 20} {incr i}");
         check_bool "expr hits recorded" true (stat tcl "expr_hits" > 10) );
   ]
