@@ -869,6 +869,144 @@ let optiondb_ablation () =
     [ 10; 100; 1000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Canvas at scale: per-item cost of create / move-one / move-tag /
+   find-overlapping / full redraw as the item count sweeps 1k → 100k,
+   with the spatial index ablated (-no-canvas-index path) for contrast.
+   The claim is that the move-one and find columns stay roughly flat under
+   the grid index while the ablation shows the linear cliff; "considered"
+   is how many items the damaged repaint sweep actually touched. *)
+
+type canvas_row = {
+  cv_n : int;
+  cv_indexed : bool;
+  cv_create_us : float; (* per item, batch-coalesced damage *)
+  cv_move_one_us : float; (* one move + its damage sweep *)
+  cv_move_tag_us : float; (* per member of a clustered 100-item tag, + sweep *)
+  cv_find_us : float; (* find overlapping, small query rect *)
+  cv_full_redraw_ms : float; (* schedule_redraw + sweep, whole store *)
+  cv_considered : int; (* items considered per damaged sweep *)
+}
+
+let canvas_case ~indexed n =
+  (* Isolate from whatever heap the surrounding sections accumulated: the
+     per-item numbers here are minor-GC-sensitive, and a few hundred MB of
+     dead storm/app state inflates them several-fold. *)
+  Gc.compact ();
+  let _server, app =
+    new_display_app (Printf.sprintf "cv%d%c" n (if indexed then 'i' else 'l'))
+  in
+  (* The ablation switch is sampled when the canvas widget is created. *)
+  Tk_widgets.Canvas.set_index_enabled indexed;
+  ignore (run_tcl app "canvas .c -width 300 -height 200");
+  Tk_widgets.Canvas.set_index_enabled true;
+  ignore (run_tcl app "pack append . .c {top}");
+  Tk.Core.update app;
+  let metric name =
+    match Tk.Core.metric app name with Some v -> int_of_string v | None -> 0
+  in
+  (* n small rectangles hashed over a plane that grows with sqrt(n), so
+     item density (and thus grid-cell occupancy) is constant across the
+     sweep — the per-query cost should then be flat under the index. *)
+  let side = max 400 (int_of_float (sqrt (float_of_int n) *. 24.0)) in
+  let create_s =
+    time_wall (fun () ->
+        for i = 0 to n - 1 do
+          let x = i * 2654435761 land 0x3FFFFFFF mod side
+          and y = (i * 1327217885) land 0x3FFFFFFF mod side in
+          ignore
+            (run_tcl app
+               (Printf.sprintf ".c create rectangle %d %d %d %d" x y (x + 6)
+                  (y + 4)))
+        done)
+  in
+  (* A spatially clustered "hot" tag — the dashboard shape: a burst of
+     points in one region updating each frame while the rest sit still. *)
+  for i = 0 to 99 do
+    ignore
+      (run_tcl app
+         (Printf.sprintf ".c create rectangle %d %d %d %d -tags hot"
+            (10 + (i mod 10 * 9))
+            (10 + (i / 10 * 9))
+            (14 + (i mod 10 * 9))
+            (13 + (i / 10 * 9))))
+  done;
+  Tk.Core.update app;
+  let hot =
+    List.length
+      (List.filter
+         (fun s -> s <> "")
+         (String.split_on_char ' ' (run_tcl app ".c find withtag hot")))
+  in
+  let reps = if n >= 100_000 then 100 else 200 in
+  let considered0 = metric "tk.canvas.items_considered" in
+  let sweeps0 =
+    metric "tk.canvas.damage_redraws" + metric "tk.canvas.full_redraws"
+  in
+  let move_one_s =
+    time_wall (fun () ->
+        for _ = 1 to reps do
+          ignore (run_tcl app ".c move 1 1 1");
+          Tk.Core.update app
+        done)
+  in
+  let sweeps =
+    metric "tk.canvas.damage_redraws" + metric "tk.canvas.full_redraws"
+    - sweeps0
+  in
+  let considered =
+    (metric "tk.canvas.items_considered" - considered0) / max 1 sweeps
+  in
+  let tag_reps = 20 in
+  let move_tag_s =
+    time_wall (fun () ->
+        for _ = 1 to tag_reps do
+          ignore (run_tcl app ".c move hot 1 1");
+          Tk.Core.update app
+        done)
+  in
+  let find_reps = reps in
+  let find_s =
+    time_wall (fun () ->
+        for _ = 1 to find_reps do
+          ignore (run_tcl app ".c find overlapping 500 500 540 540")
+        done)
+  in
+  let full_s =
+    time_min ~reps:3 (fun () ->
+        Tk.Core.schedule_redraw (Tk.Core.lookup_exn app ".c");
+        Tk.Core.update app)
+  in
+  {
+    cv_n = n;
+    cv_indexed = indexed;
+    cv_create_us = create_s *. 1e6 /. float_of_int n;
+    cv_move_one_us = move_one_s *. 1e6 /. float_of_int reps;
+    cv_move_tag_us = move_tag_s *. 1e6 /. float_of_int (tag_reps * max 1 hot);
+    cv_find_us = find_s *. 1e6 /. float_of_int find_reps;
+    cv_full_redraw_ms = full_s *. 1e3;
+    cv_considered = considered;
+  }
+
+let collect_canvas_cases ~smoke =
+  let ns = if smoke then [ 1000 ] else [ 1000; 10_000; 100_000 ] in
+  List.concat_map
+    (fun n -> [ canvas_case ~indexed:true n; canvas_case ~indexed:false n ])
+    ns
+
+let canvas_sweep () =
+  section "Canvas at scale: grid index + damage-region redraw";
+  Printf.printf "%8s %6s %11s %11s %13s %11s %13s %11s\n" "items" "index"
+    "create/it" "move-one" "move-tag/it" "find-over" "full redraw" "considered";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%8d %6s %9.2fus %9.2fus %11.2fus %9.2fus %11.2fms %11d\n" r.cv_n
+        (if r.cv_indexed then "on" else "off")
+        r.cv_create_us r.cv_move_one_us r.cv_move_tag_us r.cv_find_us
+        r.cv_full_redraw_ms r.cv_considered)
+    (collect_canvas_cases ~smoke:false)
+
+(* ------------------------------------------------------------------ *)
 (* JSON emission (--json FILE): the Table II numbers, the paper-style
    traffic budgets, cache hit rates and the full metrics registry, in a
    machine-readable file that seeds the repo's perf trajectory
@@ -998,6 +1136,12 @@ let storm_json ~smoke =
 
 let emit_json ~path ~smoke =
   let quota = if smoke then Some 0.05 else None in
+  (* Collected first, on a pristine heap: the canvas numbers are per-item
+     microcosts whose GC component must not be billed for the hundreds of
+     MB the storm and script sections allocate.  (Also note OCaml
+     evaluates the record literal below right-to-left — an inline call
+     down there would run dead last.) *)
+  let canvas_cases = collect_canvas_cases ~smoke in
   let set_ns = bench_set_a_1 ?quota () in
   let send_ns, send_reqs, send_rts = bench_send_empty ?quota () in
   let btn_ns, btn_reqs =
@@ -1067,7 +1211,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 8);
+        ("pr", J_int 9);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -1124,6 +1268,22 @@ let emit_json ~path ~smoke =
                   *. 100.0) );
             ] );
         ("widget_sweep", J_list sweep);
+        ( "canvas",
+          J_list
+            (List.map
+               (fun r ->
+                 J_obj
+                   [
+                     ("items", J_int r.cv_n);
+                     ("index", J_string (if r.cv_indexed then "on" else "off"));
+                     ("create_us_per_item", J_float r.cv_create_us);
+                     ("move_one_us", J_float r.cv_move_one_us);
+                     ("move_tag_us_per_member", J_float r.cv_move_tag_us);
+                     ("find_overlapping_us", J_float r.cv_find_us);
+                     ("full_redraw_ms", J_float r.cv_full_redraw_ms);
+                     ("damaged_sweep_items_considered", J_int r.cv_considered);
+                   ])
+               canvas_cases) );
         ("scripts", J_list scripts);
         ("vm", J_list vm_cases);
         ("send_storm", storm_json ~smoke);
@@ -1148,6 +1308,7 @@ let full_suite () =
   tcl_micro ();
   figure8 ();
   widget_sweep ();
+  canvas_sweep ();
   send_sweep ();
   send_storm_section ();
   interp_section ();

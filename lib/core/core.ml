@@ -74,6 +74,7 @@ type widget = {
   mutable req_height : int;
   mutable geom_mgr : geom_mgr option;
   mutable redraw_pending : bool;
+  mutable damage : Geom.rect list;
   mutable data : wdata;
   mutable last_click : (int * int * int) option;
   mutable press_history : (Event.t * int) list;
@@ -84,6 +85,7 @@ and wclass = {
   specs : spec list;
   mutable configure_hook : widget -> unit;
   mutable display : widget -> unit;
+  mutable display_damaged : (widget -> Geom.rect -> unit) option;
   mutable handle_event : widget -> Event.t -> unit;
   mutable subcommands : widget -> string list -> Tcl.Interp.result;
   mutable cleanup : widget -> unit;
@@ -535,6 +537,7 @@ let make_class ~name ~specs () =
     specs;
     configure_hook = (fun _ -> ());
     display = (fun _ -> ());
+    display_damaged = None;
     handle_event = (fun _ _ -> ());
     subcommands =
       (fun w words ->
@@ -547,30 +550,119 @@ let make_class ~name ~specs () =
 (* ------------------------------------------------------------------ *)
 (* Geometry plumbing *)
 
-let schedule_redraw w =
+(* When pending damage covers this fraction of the widget (percent), the
+   sweep deopts to a full clear + redraw: clipping bookkeeping stops
+   paying for itself once most of the window is dirty anyway. *)
+let damage_deopt_percent = 60
+
+(* Pending damage is kept as a handful of disjoint-ish rects rather than
+   one bounding union: a frame that dirties a status line top-left and a
+   cursor bottom-right would otherwise union into most of the window and
+   deopt every sweep. *)
+let max_damage_rects = 4
+
+let arm_repaint w =
   let m = w.app.metrics in
-  if w.redraw_pending then
-    (* Idle-time redisplay (paper §3.2): this repaint rides the one
-       already scheduled. The collapsed count is the traffic saved. *)
-    m.Metrics.redraws_collapsed <- m.Metrics.redraws_collapsed + 1
-  else if not w.destroyed then begin
-    w.redraw_pending <- true;
-    m.Metrics.redraws_scheduled <- m.Metrics.redraws_scheduled + 1;
-    Dispatch.when_idle w.app.disp (fun () ->
-        w.redraw_pending <- false;
-        (* Re-check at sweep time: the widget may have been destroyed
-           after this redraw was scheduled; drawing into its (possibly
-           recycled) window would be wrong. *)
-        if w.destroyed then
-          m.Metrics.redraws_skipped_dead <- m.Metrics.redraws_skipped_dead + 1
-        else if w.mapped then begin
-          m.Metrics.redraws_drawn <- m.Metrics.redraws_drawn + 1;
-          (* A rejected request mid-repaint leaves the window partially
-             drawn until the next Expose — but the application lives on. *)
-          absorb w.app ~default:() (fun () ->
+  w.redraw_pending <- true;
+  m.Metrics.redraws_scheduled <- m.Metrics.redraws_scheduled + 1;
+  Dispatch.when_idle w.app.disp (fun () ->
+      w.redraw_pending <- false;
+      let damage = w.damage in
+      w.damage <- [];
+      (* Re-check at sweep time: the widget may have been destroyed
+         after this redraw was scheduled; drawing into its (possibly
+         recycled) window would be wrong. *)
+      if w.destroyed then
+        m.Metrics.redraws_skipped_dead <- m.Metrics.redraws_skipped_dead + 1
+      else if w.mapped then begin
+        m.Metrics.redraws_drawn <- m.Metrics.redraws_drawn + 1;
+        let partial =
+          (* A partial repaint needs a class that understands clips; and
+             once damage swamps the window, full redraw is cheaper. *)
+          match (damage, w.wclass.display_damaged) with
+          | [], _ -> None
+          | _ :: _, None ->
+            m.Metrics.damage_deopt_full <- m.Metrics.damage_deopt_full + 1;
+            None
+          | rects, Some repaint ->
+            let wrect =
+              Geom.rect ~x:0 ~y:0 ~width:w.width ~height:w.height
+            in
+            let visible =
+              List.filter_map (fun r -> Geom.intersect r wrect) rects
+            in
+            let total =
+              List.fold_left (fun acc r -> acc + Geom.area r) 0 visible
+            in
+            if total * 100 >= Geom.area wrect * damage_deopt_percent then begin
+              m.Metrics.damage_deopt_full <- m.Metrics.damage_deopt_full + 1;
+              None
+            end
+            else Some (repaint, visible)
+        in
+        (* A rejected request mid-repaint leaves the window partially
+           drawn until the next Expose — but the application lives on. *)
+        absorb w.app ~default:() (fun () ->
+            match partial with
+            | Some (repaint, clips) ->
+              m.Metrics.damage_drawn <- m.Metrics.damage_drawn + 1;
+              List.iter (fun clip -> repaint w clip) clips
+            | None ->
               Server.clear_window w.app.conn w.win;
               w.wclass.display w)
-        end)
+      end)
+
+let schedule_redraw w =
+  let m = w.app.metrics in
+  if w.redraw_pending then begin
+    (* Idle-time redisplay (paper §3.2): this repaint rides the one
+       already scheduled. The collapsed count is the traffic saved. *)
+    m.Metrics.redraws_collapsed <- m.Metrics.redraws_collapsed + 1;
+    (* A full redraw subsumes any pending partial damage. *)
+    if w.damage <> [] then begin
+      w.damage <- [];
+      m.Metrics.damage_deopt_full <- m.Metrics.damage_deopt_full + 1
+    end
+  end
+  else if not w.destroyed then arm_repaint w
+
+let schedule_damage w rect =
+  if not (Geom.is_empty rect) then begin
+    let m = w.app.metrics in
+    if w.redraw_pending then begin
+      m.Metrics.redraws_collapsed <- m.Metrics.redraws_collapsed + 1;
+      match w.damage with
+      | [] ->
+        (* A full redraw is already pending; it covers this damage. *)
+        ()
+      | rects ->
+        (* Coalesce: merge into whichever pending rect grows the least,
+           or keep the rect separate while there is room and merging
+           would cost more area than it saves. Precision lost to a union
+           is at worst extra clean items considered, never missed dirt. *)
+        m.Metrics.damage_coalesced <- m.Metrics.damage_coalesced + 1;
+        let grow r = Geom.area (Geom.union r rect) - Geom.area r in
+        let best =
+          List.fold_left
+            (fun best r ->
+              match best with
+              | Some (c, _) when c <= grow r -> best
+              | _ -> Some (grow r, r))
+            None rects
+        in
+        (match best with
+        | Some (cost, target)
+          when List.length rects >= max_damage_rects
+               || cost <= Geom.area rect ->
+          w.damage <-
+            List.map (fun r -> if r == target then Geom.union r rect else r) rects
+        | _ -> w.damage <- rect :: rects)
+    end
+    else if not w.destroyed then begin
+      w.damage <- [ rect ];
+      m.Metrics.damage_scheduled <- m.Metrics.damage_scheduled + 1;
+      arm_repaint w
+    end
   end
 
 let move_resize w ~x ~y ~width ~height =
@@ -877,6 +969,7 @@ let make_widget app ~path ?(data = No_data) wclass ~args =
       req_height = 1;
       geom_mgr = None;
       redraw_pending = false;
+      damage = [];
       data;
       last_click = None;
       press_history = [];
@@ -1154,6 +1247,8 @@ let metrics_snapshot app =
     ("rescache_fallbacks", string_of_int (Rescache.fallbacks app.cache));
   ]
   @ Metrics.to_list app.metrics
+  @ Metrics.damage_to_list app.metrics
+  @ Metrics.canvas_to_list app.metrics
   @ Metrics.send_to_list app.metrics
   @ [
       ("timers_fired", string_of_int d.Dispatch.timers_fired);

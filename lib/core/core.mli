@@ -71,6 +71,10 @@ type widget = {
   mutable req_height : int;
   mutable geom_mgr : geom_mgr option;
   mutable redraw_pending : bool;
+  mutable damage : Geom.rect list;
+      (** accumulated damage for the pending repaint, in widget
+          coordinates, coalesced to at most a handful of rects; [[]]
+          while a pending repaint is a full redraw *)
   mutable data : wdata;
   mutable last_click : (int * int * int) option; (* button, time, count *)
   mutable press_history : (Event.t * int) list; (* newest first *)
@@ -82,6 +86,10 @@ and wclass = {
   mutable configure_hook : widget -> unit;
       (** called after any option change and at creation *)
   mutable display : widget -> unit;  (** repaint into the X window *)
+  mutable display_damaged : (widget -> Geom.rect -> unit) option;
+      (** repaint only the given (widget-coordinate) clip, leaving
+          retained drawing outside it alone; classes without one get a
+          full redraw whenever damage is scheduled *)
   mutable handle_event : widget -> Event.t -> unit;
       (** the widget's built-in ("C code") event behaviour *)
   mutable subcommands : widget -> string list -> Tcl.Interp.result;
@@ -313,6 +321,15 @@ val unmap_widget : widget -> unit
 
 val schedule_redraw : widget -> unit
 (** Coalesced: the class display procedure runs from the idle queue. *)
+
+val schedule_damage : widget -> Geom.rect -> unit
+(** Like {!schedule_redraw}, but records that only [rect] (widget
+    coordinates) changed. Damage rects union-coalesce onto the pending
+    repaint; at the idle sweep the class {!wclass.display_damaged} hook
+    receives the accumulated clip. Falls back to a full redraw when the
+    class has no damaged-display hook, when a full redraw was also
+    scheduled, or when the damage covers most of the widget (the deopt
+    threshold — see the [tk.damage.*] counters). *)
 
 (** {1 Events and bindings} *)
 

@@ -3,6 +3,23 @@ type t = {
   mutable redraws_collapsed : int;
   mutable redraws_drawn : int;
   mutable redraws_skipped_dead : int;
+  (* Damage-region repaints ("tk.damage." counters): partial repaints
+     scheduled through [schedule_damage] instead of whole-widget
+     redraws. *)
+  mutable damage_scheduled : int;
+  mutable damage_coalesced : int;
+  mutable damage_drawn : int;
+  mutable damage_deopt_full : int;
+  (* Canvas item machinery ("tk.canvas." counters): spatial-index use and
+     repaint selectivity. *)
+  mutable canvas_index_queries : int;
+  mutable canvas_index_hits : int;
+  mutable canvas_linear_scans : int;
+  mutable canvas_items_considered : int;
+  mutable canvas_items_drawn : int;
+  mutable canvas_full_redraws : int;
+  mutable canvas_damage_redraws : int;
+  mutable canvas_bulk_ops : int;
   mutable binding_dispatches : int;
   (* The send fabric ("tk.send." counters): sender-side outcomes ... *)
   mutable sends : int;
@@ -36,6 +53,18 @@ let create () =
     redraws_collapsed = 0;
     redraws_drawn = 0;
     redraws_skipped_dead = 0;
+    damage_scheduled = 0;
+    damage_coalesced = 0;
+    damage_drawn = 0;
+    damage_deopt_full = 0;
+    canvas_index_queries = 0;
+    canvas_index_hits = 0;
+    canvas_linear_scans = 0;
+    canvas_items_considered = 0;
+    canvas_items_drawn = 0;
+    canvas_full_redraws = 0;
+    canvas_damage_redraws = 0;
+    canvas_bulk_ops = 0;
     binding_dispatches = 0;
     sends = 0;
     sends_ok = 0;
@@ -65,6 +94,18 @@ let reset t =
   t.redraws_collapsed <- 0;
   t.redraws_drawn <- 0;
   t.redraws_skipped_dead <- 0;
+  t.damage_scheduled <- 0;
+  t.damage_coalesced <- 0;
+  t.damage_drawn <- 0;
+  t.damage_deopt_full <- 0;
+  t.canvas_index_queries <- 0;
+  t.canvas_index_hits <- 0;
+  t.canvas_linear_scans <- 0;
+  t.canvas_items_considered <- 0;
+  t.canvas_items_drawn <- 0;
+  t.canvas_full_redraws <- 0;
+  t.canvas_damage_redraws <- 0;
+  t.canvas_bulk_ops <- 0;
   t.binding_dispatches <- 0;
   t.sends <- 0;
   t.sends_ok <- 0;
@@ -95,6 +136,26 @@ let to_list t =
     ("redraws_drawn", string_of_int t.redraws_drawn);
     ("redraws_skipped_dead", string_of_int t.redraws_skipped_dead);
     ("binding_dispatches", string_of_int t.binding_dispatches);
+  ]
+
+let damage_to_list t =
+  [
+    ("tk.damage.scheduled", string_of_int t.damage_scheduled);
+    ("tk.damage.coalesced", string_of_int t.damage_coalesced);
+    ("tk.damage.partial_drawn", string_of_int t.damage_drawn);
+    ("tk.damage.deopt_full", string_of_int t.damage_deopt_full);
+  ]
+
+let canvas_to_list t =
+  [
+    ("tk.canvas.index_queries", string_of_int t.canvas_index_queries);
+    ("tk.canvas.index_hits", string_of_int t.canvas_index_hits);
+    ("tk.canvas.linear_scans", string_of_int t.canvas_linear_scans);
+    ("tk.canvas.items_considered", string_of_int t.canvas_items_considered);
+    ("tk.canvas.items_drawn", string_of_int t.canvas_items_drawn);
+    ("tk.canvas.full_redraws", string_of_int t.canvas_full_redraws);
+    ("tk.canvas.damage_redraws", string_of_int t.canvas_damage_redraws);
+    ("tk.canvas.bulk_ops", string_of_int t.canvas_bulk_ops);
   ]
 
 let send_to_list t =

@@ -19,6 +19,27 @@ type t = {
   mutable redraws_skipped_dead : int;
       (** scheduled redraws dropped because the widget was destroyed
           between scheduling and the idle sweep *)
+  mutable damage_scheduled : int;
+      (** calls to [schedule_damage] that armed a partial repaint *)
+  mutable damage_coalesced : int;
+      (** damage rects unioned into an already-pending partial repaint *)
+  mutable damage_drawn : int;  (** partial (damage-clipped) repaints run *)
+  mutable damage_deopt_full : int;
+      (** pending partial repaints upgraded to a full redraw (damage grew
+          past the deopt threshold, or a full redraw was also scheduled) *)
+  mutable canvas_index_queries : int;  (** spatial-index rectangle queries *)
+  mutable canvas_index_hits : int;
+      (** candidate items yielded by index queries *)
+  mutable canvas_linear_scans : int;
+      (** queries answered by the O(n) linear fallback (index disabled) *)
+  mutable canvas_items_considered : int;
+      (** items examined during canvas repaints *)
+  mutable canvas_items_drawn : int;
+      (** items whose ops were actually (re-)emitted *)
+  mutable canvas_full_redraws : int;
+  mutable canvas_damage_redraws : int;
+  mutable canvas_bulk_ops : int;
+      (** tag-indexed bulk verbs (move/delete/itemconfigure/... on a tag) *)
   mutable binding_dispatches : int;  (** binding scripts dispatched *)
   mutable sends : int;  (** send requests issued (all variants) *)
   mutable sends_ok : int;  (** sends that resolved [ok] *)
@@ -58,3 +79,9 @@ val to_list : t -> (string * string) list
 
 val send_to_list : t -> (string * string) list
 (** The send-fabric counters, already prefixed [tk.send.*]. *)
+
+val damage_to_list : t -> (string * string) list
+(** The damage-repaint counters, already prefixed [tk.damage.*]. *)
+
+val canvas_to_list : t -> (string * string) list
+(** The canvas counters, already prefixed [tk.canvas.*]. *)

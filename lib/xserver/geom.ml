@@ -22,5 +22,20 @@ let intersect a b =
 
 let translate r ~dx ~dy = { r with rx = r.rx + dx; ry = r.ry + dy }
 
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let x0 = min a.rx b.rx and y0 = min a.ry b.ry in
+    let x1 = max (a.rx + a.rwidth) (b.rx + b.rwidth) in
+    let y1 = max (a.ry + a.rheight) (b.ry + b.rheight) in
+    { rx = x0; ry = y0; rwidth = x1 - x0; rheight = y1 - y0 }
+  end
+
+let area r = if is_empty r then 0 else r.rwidth * r.rheight
+
+let inflate r ~dx ~dy =
+  { rx = r.rx - dx; ry = r.ry - dy; rwidth = r.rwidth + (2 * dx); rheight = r.rheight + (2 * dy) }
+
 let pp_rect fmt r =
   Format.fprintf fmt "%dx%d+%d+%d" r.rwidth r.rheight r.rx r.ry

@@ -20,6 +20,15 @@ val intersect : rect -> rect -> rect option
 
 val translate : rect -> dx:int -> dy:int -> rect
 
+val union : rect -> rect -> rect
+(** Smallest rectangle covering both (an empty argument is ignored). *)
+
+val area : rect -> int
+(** Pixel area; 0 for empty rectangles. *)
+
+val inflate : rect -> dx:int -> dy:int -> rect
+(** Grow by [dx]/[dy] pixels on every side. *)
+
 val is_empty : rect -> bool
 
 val pp_rect : Format.formatter -> rect -> unit

@@ -199,7 +199,7 @@ let rec draw_window canvas ~clip w =
             stipple_rect canvas ~clip:inner_clip (to_root r) bitmap color
           | Window.Draw_relief { rrect; raised; rwidth = _ } ->
             draw_relief canvas ~clip:inner_clip (to_root rrect) ~raised)
-        (List.rev w.Window.display_list);
+        (Window.ops_in_order w);
       List.iter (draw_window canvas ~clip:inner_clip) w.Window.children
   end
 

@@ -756,44 +756,48 @@ let clear_window conn id =
   request ~resource:id conn Draw;
   Window.clear_drawing (window_exn conn id)
 
-let fill_rect conn id gc rect =
+let clear_keyed conn id key =
   request ~resource:id conn Draw;
-  Window.add_draw_op (window_exn conn id)
+  Window.clear_key (window_exn conn id) key
+
+let fill_rect ?key conn id gc rect =
+  request ~resource:id conn Draw;
+  Window.add_draw_op ?key (window_exn conn id)
     (Window.Fill_rect (rect, gc.Gcontext.foreground))
 
-let draw_rect conn id gc rect =
+let draw_rect ?key conn id gc rect =
   request ~resource:id conn Draw;
-  Window.add_draw_op (window_exn conn id)
+  Window.add_draw_op ?key (window_exn conn id)
     (Window.Draw_rect (rect, gc.Gcontext.foreground))
 
-let draw_text conn id gc ~x ~y text =
+let draw_text ?key conn id gc ~x ~y text =
   request ~resource:id conn Draw;
   let font =
     match gc.Gcontext.font with
     | Some f -> f
     | None -> Font.fallback ()
   in
-  Window.add_draw_op (window_exn conn id)
+  Window.add_draw_op ?key (window_exn conn id)
     (Window.Draw_text { tx = x; ty = y; text; color = gc.Gcontext.foreground; font })
 
-let draw_line conn id gc ~x1 ~y1 ~x2 ~y2 =
+let draw_line ?key conn id gc ~x1 ~y1 ~x2 ~y2 =
   request ~resource:id conn Draw;
-  Window.add_draw_op (window_exn conn id)
+  Window.add_draw_op ?key (window_exn conn id)
     (Window.Draw_line { x1; y1; x2; y2; color = gc.Gcontext.foreground })
 
-let stipple_rect conn id gc rect =
+let stipple_rect ?key conn id gc rect =
   request ~resource:id conn Draw;
   match gc.Gcontext.stipple with
   | Some bitmap ->
-    Window.add_draw_op (window_exn conn id)
+    Window.add_draw_op ?key (window_exn conn id)
       (Window.Stipple_rect (rect, bitmap, gc.Gcontext.foreground))
   | None ->
-    Window.add_draw_op (window_exn conn id)
+    Window.add_draw_op ?key (window_exn conn id)
       (Window.Fill_rect (rect, gc.Gcontext.foreground))
 
-let draw_relief conn id rect ~raised ~width =
+let draw_relief ?key conn id rect ~raised ~width =
   request ~resource:id conn Draw;
-  Window.add_draw_op (window_exn conn id)
+  Window.add_draw_op ?key (window_exn conn id)
     (Window.Draw_relief { rrect = rect; raised; rwidth = width })
 
 (* ------------------------------------------------------------------ *)

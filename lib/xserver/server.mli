@@ -287,22 +287,37 @@ val send_selection_notify :
 (** The owner's reply: stores [data] in the property on the requestor
     window (if accepted) and delivers [Selection_notify]. *)
 
-(** {1 Drawing (retained in per-window display lists)} *)
+(** {1 Drawing (retained in per-window keyed display lists)}
+
+    Every draw call takes an optional [?key]: ops land in the window's
+    keyed op store ({!Window.ops}) and the rasterizer paints keys in
+    ascending order. Omitting the key assigns a fresh auto key per op
+    (plain append order — what the simple widgets want). A client that
+    keys its ops (the canvas keys each item by its display serial) can
+    later replace just that group with {!clear_keyed} + re-draw, which is
+    the wire-level damage repaint: O(changed ops), not a full
+    {!clear_window} + redraw. *)
 
 val clear_window : connection -> Xid.t -> unit
-val fill_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
-val draw_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
 
-val draw_text : connection -> Xid.t -> Gcontext.t -> x:int -> y:int -> string -> unit
+val clear_keyed : connection -> Xid.t -> int -> unit
+(** Drop the retained ops under one key (counted as a Draw request). *)
+
+val fill_rect : ?key:int -> connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+val draw_rect : ?key:int -> connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+
+val draw_text :
+  ?key:int -> connection -> Xid.t -> Gcontext.t -> x:int -> y:int -> string -> unit
 (** [y] is the text baseline, per X convention. *)
 
 val draw_line :
+  ?key:int ->
   connection -> Xid.t -> Gcontext.t -> x1:int -> y1:int -> x2:int -> y2:int -> unit
 
-val stipple_rect : connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
+val stipple_rect : ?key:int -> connection -> Xid.t -> Gcontext.t -> Geom.rect -> unit
 
 val draw_relief :
-  connection -> Xid.t -> Geom.rect -> raised:bool -> width:int -> unit
+  ?key:int -> connection -> Xid.t -> Geom.rect -> raised:bool -> width:int -> unit
 (** Tk-style 3-D border (drawn by widgets with two GCs in real Tk; modelled
     as one request here). *)
 

@@ -26,7 +26,8 @@ type t = {
   mutable override_redirect : bool;
   properties : (Atom.t, prop) Hashtbl.t;
   mutable property_listeners : int list;
-  mutable display_list : draw_op list;
+  ops : (int, draw_op list) Hashtbl.t;
+  mutable next_op_key : int;
 }
 
 let create ~id ~owner_cid ~parent ~x ~y ~width ~height ~border_width =
@@ -49,7 +50,8 @@ let create ~id ~owner_cid ~parent ~x ~y ~width ~height ~border_width =
       override_redirect = false;
       properties = Hashtbl.create 8;
       property_listeners = [];
-      display_list = [];
+      ops = Hashtbl.create 8;
+      next_op_key = 0;
     }
   in
   (match parent with
@@ -105,6 +107,29 @@ let lower_to_bottom w =
   | None -> ()
   | Some p -> p.children <- w :: List.filter (fun c -> c != w) p.children
 
-let add_draw_op w op = w.display_list <- op :: w.display_list
+let add_draw_op ?key w op =
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+      (* Unkeyed draws get one fresh key each, so plain append-order
+         widgets render exactly as they drew. *)
+      let k = w.next_op_key in
+      w.next_op_key <- k + 1;
+      k
+  in
+  let prev = try Hashtbl.find w.ops key with Not_found -> [] in
+  Hashtbl.replace w.ops key (op :: prev)
 
-let clear_drawing w = w.display_list <- []
+let clear_key w key = Hashtbl.remove w.ops key
+
+let clear_drawing w =
+  Hashtbl.reset w.ops;
+  w.next_op_key <- 0
+
+let ops_in_order w =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) w.ops [] in
+  let keys = List.sort compare keys in
+  List.concat_map (fun k -> List.rev (Hashtbl.find w.ops k)) keys
+
+let op_count w = Hashtbl.fold (fun _ l acc -> acc + List.length l) w.ops 0

@@ -33,7 +33,13 @@ type t = {
   properties : (Atom.t, prop) Hashtbl.t;
   mutable property_listeners : int list;
       (** connection ids interested in PropertyNotify beyond the owner *)
-  mutable display_list : draw_op list;  (** newest first *)
+  ops : (int, draw_op list) Hashtbl.t;
+      (** retained display list, keyed: the rasterizer paints keys in
+          ascending order, ops within a key in insertion order. Keyed
+          clients (the canvas) address op groups directly so one item's
+          drawing can be replaced in O(1); unkeyed draws are assigned
+          fresh ascending keys, preserving plain append semantics. *)
+  mutable next_op_key : int;  (** next auto key for unkeyed draws *)
 }
 
 val create :
@@ -73,6 +79,18 @@ val raise_to_top : t -> unit
 
 val lower_to_bottom : t -> unit
 
-val add_draw_op : t -> draw_op -> unit
+val add_draw_op : ?key:int -> t -> draw_op -> unit
+(** Append an op under [key] (default: a fresh auto key above all previous
+    auto keys). *)
+
+val clear_key : t -> int -> unit
+(** Drop every op stored under one key. *)
 
 val clear_drawing : t -> unit
+(** Drop all ops and reset the auto-key counter. *)
+
+val ops_in_order : t -> draw_op list
+(** All retained ops in paint order: ascending key, insertion order within
+    a key. *)
+
+val op_count : t -> int

@@ -139,6 +139,18 @@ let defect_fixtures =
     ( "interp hide arity",
       "interp hide mini exit extra",
       "wrong # args" );
+    ( "canvas misspelled subcommand",
+      "canvas .c\n.c fnid overlapping 0 0 10 10",
+      "bad option \"fnid\" for .c (did you mean \"find\"?)" );
+    ( "canvas scale arity",
+      "canvas .c\n.c scale all 0 0",
+      "wrong # args for \".c scale\"" );
+    ( "canvas gettags arity",
+      "canvas .c\n.c gettags 1 extra",
+      "wrong # args for \".c gettags\"" );
+    ( "canvas addtag arity",
+      "canvas .c\n.c addtag hot",
+      "wrong # args for \".c addtag\"" );
   ]
 
 let defect_tests =
@@ -177,6 +189,10 @@ let clean_corpus =
     "menu .m\n.m add command -label Open -command {puts open}\n\
      .m add separator";
     "canvas .c\nset id [.c create line 0 0 10 10]\n.c move 1 5 5";
+    "canvas .c\n.c create rectangle 0 0 20 20 -tags {box hot}\n\
+     .c addtag warm withtag box\n.c dtag box hot\n.c gettags 1\n\
+     .c find overlapping 0 0 5 5\n.c bbox box\n.c itemconfigure box -fill red\n\
+     .c raise box\n.c lower box\n.c scale box 0 0 2.0 2.0\n.c delete box";
     "proc callback {} {puts pressed}\nbutton .b -command callback";
     "text .t\n.t insert 1.0 hello\n.t get 1.0 1.5";
     "scale .s\n.s set 5\n.s get";
