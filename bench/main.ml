@@ -869,6 +869,147 @@ let optiondb_ablation () =
     [ 10; 100; 1000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Whole-program analyzer throughput (PR 10): lines/sec, procedures and
+   call-graph edges over examples/ and a synthetic proc-heavy corpus,
+   plus the VM kind-seed ablation — the analyzer's formal-kind facts
+   prime argument reps at bind time so a canonical proc's first
+   execution skips string shimmering. *)
+
+type lint_row = {
+  li_name : string;
+  li_files : int;
+  li_lines : int;
+  li_procs : int;
+  li_edges : int;
+  li_diags : int;
+  li_wall_s : float;
+}
+
+(* cwd is the workspace root under [dune exec], _build/default under
+   direct execution. *)
+let examples_dir () =
+  if Sys.file_exists "examples" then Some "examples"
+  else if Sys.file_exists "../examples" then Some "../examples"
+  else None
+
+let lint_sources () =
+  match examples_dir () with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun e -> Filename.check_suffix e ".tcl")
+    |> List.sort String.compare
+    |> List.map (fun e ->
+           let f = Filename.concat dir e in
+           (Some f, In_channel.with_open_text f In_channel.input_all))
+
+let synthetic_corpus n =
+  let buf = Buffer.create (n * 160) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "proc helper%d {a b} {\n\
+         \  set t [expr $a + $b]\n\
+         \  if {$t > 100} {return $t}\n\
+         \  return [expr $t * 2]\n\
+          }\n"
+         i)
+  done;
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "helper%d %d %d\n" i i (i + 1))
+  done;
+  Buffer.contents buf
+
+let count_lines s =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 1 s
+
+let lint_case name files =
+  let _server, app = new_display_app ("lint_" ^ name) in
+  (* The examples run under wish, where the simulation commands exist;
+     mirror that environment so the sweep stays diagnostic-free. *)
+  List.iter
+    (fun cmd ->
+      Tcl.Interp.register_value app.Tk.Core.interp cmd (fun _ _ -> ""))
+    [ "screendump"; "inject"; "serverstats"; "faultstats"; "crashtest" ];
+  let lines = List.fold_left (fun acc (_, s) -> acc + count_lines s) 0 files in
+  let out =
+    ref (Tcl.Lint.analyze_program ~whole:true app.Tk.Core.interp files)
+  in
+  let wall =
+    time_min ~reps:3 (fun () ->
+        out := Tcl.Lint.analyze_program ~whole:true app.Tk.Core.interp files)
+  in
+  {
+    li_name = name;
+    li_files = List.length files;
+    li_lines = lines;
+    li_procs = !out.Tcl.Lint.o_procs;
+    li_edges = !out.Tcl.Lint.o_edges;
+    li_diags = List.length !out.Tcl.Lint.o_diags;
+    li_wall_s = wall;
+  }
+
+let collect_lint_cases ~smoke =
+  let ex = match lint_sources () with [] -> [] | files -> [ ("examples", files) ] in
+  let n = if smoke then 50 else 400 in
+  let cases =
+    ex
+    @ [ (Printf.sprintf "synthetic_%d_procs" n, [ (None, synthetic_corpus n) ]) ]
+  in
+  List.map (fun (name, files) -> lint_case name files) cases
+
+(* The kind-seed ablation: fib's first execution with and without the
+   analyzer's n:int fact installed.  Seeding happens before the lazy
+   lowering, so the seeded/primed counters accumulate during the run. *)
+let lint_seed_case seeded =
+  let _server, app =
+    new_display_app (if seeded then "seed_on" else "seed_off")
+  in
+  let src =
+    "proc fib {n} {\n\
+     \  if {$n < 2} {return $n}\n\
+     \  return [expr [fib [expr $n - 1]] + [fib [expr $n - 2]]]\n\
+     }"
+  in
+  ignore (run_tcl app src);
+  if seeded then begin
+    let out =
+      Tcl.Lint.analyze_program ~whole:true app.Tk.Core.interp
+        [ (None, src ^ "\nfib 20") ]
+    in
+    List.iter
+      (fun (name, facts) ->
+        Tcl.Interp.seed_proc_kinds app.Tk.Core.interp name facts)
+      out.Tcl.Lint.o_facts
+  end;
+  Tcl.Interp.reset_vm_stats app.Tk.Core.interp;
+  let wall = time_wall (fun () -> ignore (run_tcl app "fib 22")) in
+  (wall, Tcl.Interp.vm_stats app.Tk.Core.interp)
+
+let vm_stat k stats = try List.assoc k stats with Not_found -> "0"
+
+let lint_section ~smoke =
+  section "Whole-program analysis (tclcheck engine): throughput";
+  Printf.printf "%-24s %6s %7s %7s %8s %7s %10s %12s\n" "corpus" "files"
+    "lines" "procs" "edges" "diags" "wall ms" "lines/sec";
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %6d %7d %7d %8d %7d %10.2f %12.0f\n" r.li_name
+        r.li_files r.li_lines r.li_procs r.li_edges r.li_diags
+        (r.li_wall_s *. 1000.0)
+        (float_of_int r.li_lines /. Float.max 1e-9 r.li_wall_s))
+    (collect_lint_cases ~smoke);
+  let w_off, _ = lint_seed_case false in
+  let w_on, s_on = lint_seed_case true in
+  Printf.printf
+    "\n\
+     VM kind-seed ablation (first run of fib 22): unseeded %.2f ms, seeded \
+     %.2f ms (procs seeded %s, reps primed %s)\n"
+    (w_off *. 1000.0) (w_on *. 1000.0)
+    (vm_stat "seeded" s_on)
+    (vm_stat "seed_primed" s_on)
+
+(* ------------------------------------------------------------------ *)
 (* Canvas at scale: per-item cost of create / move-one / move-tag /
    find-overlapping / full redraw as the item count sweeps 1k → 100k,
    with the spatial index ablated (-no-canvas-index path) for contrast.
@@ -1154,6 +1295,9 @@ let emit_json ~path ~smoke =
   let abl_on = rescache_ablation_case true in
   let abl_off = rescache_ablation_case false in
   let ib = bench_interp ?quota () in
+  let lint_cases = collect_lint_cases ~smoke in
+  let seed_off_wall, _ = lint_seed_case false in
+  let seed_on_wall, seed_on_stats = lint_seed_case true in
   let scripts =
     List.map
       (fun c ->
@@ -1211,7 +1355,7 @@ let emit_json ~path ~smoke =
     J_obj
       [
         ("benchmark", J_string "tk-repro");
-        ("pr", J_int 9);
+        ("pr", J_int 10);
         ("mode", J_string (if smoke then "smoke" else "full"));
         ( "table2",
           J_obj
@@ -1286,6 +1430,39 @@ let emit_json ~path ~smoke =
                canvas_cases) );
         ("scripts", J_list scripts);
         ("vm", J_list vm_cases);
+        ( "lint",
+          J_obj
+            [
+              ( "corpora",
+                J_list
+                  (List.map
+                     (fun r ->
+                       J_obj
+                         [
+                           ("corpus", J_string r.li_name);
+                           ("files", J_int r.li_files);
+                           ("lines", J_int r.li_lines);
+                           ("procs", J_int r.li_procs);
+                           ("call_graph_edges", J_int r.li_edges);
+                           ("diagnostics", J_int r.li_diags);
+                           ("wall_ms", J_float (r.li_wall_s *. 1000.0));
+                           ( "lines_per_sec",
+                             J_float
+                               (float_of_int r.li_lines
+                               /. Float.max 1e-9 r.li_wall_s) );
+                         ])
+                     lint_cases) );
+              ( "seed_ablation",
+                J_obj
+                  [
+                    ("workload", J_string "fib 22 first run");
+                    ("unseeded_ms", J_float (seed_off_wall *. 1000.0));
+                    ("seeded_ms", J_float (seed_on_wall *. 1000.0));
+                    ("procs_seeded", json_of_counter (vm_stat "seeded" seed_on_stats));
+                    ( "reps_primed",
+                      json_of_counter (vm_stat "seed_primed" seed_on_stats) );
+                  ] );
+            ] );
         ("send_storm", storm_json ~smoke);
         ( "counters",
           J_obj (List.map (fun (k, v) -> (k, json_of_counter v)) snapshot) );
@@ -1318,6 +1495,7 @@ let full_suite () =
   scripts_ablation ();
   vm_ablation ();
   optiondb_ablation ();
+  lint_section ~smoke:false;
   print_newline ()
 
 let () =

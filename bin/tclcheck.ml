@@ -1,19 +1,34 @@
-(* tclcheck: a static analyzer for Tcl/Tk scripts.
+(* tclcheck: a whole-program static analyzer for Tcl/Tk scripts.
 
-     tclcheck ?-Werror? ?-q? file-or-directory ...
+     tclcheck ?-Werror? ?-q? ?-safe? ?--json? ?--github? file-or-dir ...
 
    Each argument is a .tcl file (or a directory, checked recursively for
-   *.tcl files). Diagnostics print as "file:line:col: severity: message".
-   Exit status: 0 when every file is clean, 1 when any diagnostic was
-   reported (with -Werror, warnings count; without it, only errors), 2
-   for usage or I/O problems.
+   *.tcl files).  All gathered files are analyzed as ONE program — procs
+   defined in one file resolve calls in another, the call graph spans
+   everything, and whole-program-only diagnostics (procedures defined
+   but never called, guaranteed infinite recursion) are enabled.
+
+   Output formats:
+     default   file:line:col: severity: message
+     --json    one JSON array of {file,line,col,pass,severity,message}
+     --github  GitHub Actions workflow annotations
+               (::error file=...,line=...,col=...::message)
+
+   -safe additionally reports every reachable invocation of a command
+   the -safe interpreter profile hides, directly or via [interp alias].
+
+   Exit status: 0 when clean, 1 when any diagnostic was reported (with
+   -Werror, warnings count; without it, only errors), 2 for usage or
+   I/O problems.
 
    The analyzer never executes the scripts: it builds a full Tk
    application (widgets, Tk intrinsics, wish's simulation commands) only
    to populate the command-signature registry the lint passes read. *)
 
 let usage () =
-  prerr_endline "usage: tclcheck ?-Werror? ?-q? file-or-dir ?file-or-dir ...?";
+  prerr_endline
+    "usage: tclcheck ?-Werror? ?-q? ?-safe? ?--json? ?--github? file-or-dir \
+     ?file-or-dir ...?";
   exit 2
 
 let rec gather path =
@@ -37,15 +52,68 @@ let rec gather path =
           else acc)
         [] entries)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_diag file (d : Tcl.Lint.diag) =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"pass\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape file) d.Tcl.Lint.line d.Tcl.Lint.col
+    (json_escape d.Tcl.Lint.pass)
+    (Tcl.Lint.severity_name d.Tcl.Lint.severity)
+    (json_escape d.Tcl.Lint.message)
+
+(* GitHub Actions annotation commands: newlines in the message must be
+   URL-encoded, as must %, to survive the workflow-command parser. *)
+let github_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let github_diag file (d : Tcl.Lint.diag) =
+  Printf.sprintf "::%s file=%s,line=%d,col=%d::[%s] %s"
+    (match d.Tcl.Lint.severity with
+    | Tcl.Lint.Error -> "error"
+    | Tcl.Lint.Warning -> "warning")
+    (github_escape file) d.Tcl.Lint.line d.Tcl.Lint.col d.Tcl.Lint.pass
+    (github_escape d.Tcl.Lint.message)
+
+type format = Plain | Json | Github
+
 let () =
   let werror = ref false in
   let quiet = ref false in
+  let safe = ref false in
+  let format = ref Plain in
   let paths = ref [] in
   List.iter
     (fun arg ->
       match arg with
       | "-Werror" -> werror := true
       | "-q" -> quiet := true
+      | "-safe" | "--safe" -> safe := true
+      | "--json" -> format := Json
+      | "--github" -> format := Github
       | "-help" | "--help" -> usage ()
       | _ when String.length arg > 0 && arg.[0] = '-' ->
         Printf.eprintf "tclcheck: unknown flag %s\n" arg;
@@ -65,24 +133,54 @@ let () =
       ~name:"tclcheck" ()
   in
   Sim_commands.install app;
+  let sources =
+    List.map
+      (fun file ->
+        match In_channel.with_open_text file In_channel.input_all with
+        | exception Sys_error msg ->
+          Printf.eprintf "tclcheck: %s\n" msg;
+          exit 2
+        | src -> (Some file, src))
+      files
+  in
+  let out =
+    Tcl.Lint.analyze_program ~safe:!safe ~whole:true app.Tk.Core.interp
+      sources
+  in
+  let diags =
+    List.map
+      (fun (file, d) ->
+        ((match file with Some f -> f | None -> "<stdin>"), d))
+      out.Tcl.Lint.o_diags
+  in
   let errors = ref 0 and warnings = ref 0 in
   List.iter
-    (fun file ->
-      match In_channel.with_open_text file In_channel.input_all with
-      | exception Sys_error msg ->
-        Printf.eprintf "tclcheck: %s\n" msg;
-        exit 2
-      | src ->
-        let diags = Tcl.Lint.analyze app.Tk.Core.interp src in
-        List.iter
-          (fun d ->
-            (match d.Tcl.Lint.severity with
-            | Tcl.Lint.Error -> incr errors
-            | Tcl.Lint.Warning -> incr warnings);
-            if not !quiet then
-              print_endline (Tcl.Lint.format_diag ~file d))
-          diags)
-    files;
+    (fun (_, d) ->
+      match d.Tcl.Lint.severity with
+      | Tcl.Lint.Error -> incr errors
+      | Tcl.Lint.Warning -> incr warnings)
+    diags;
+  (match !format with
+  | Json ->
+    (* The JSON report always prints, even under -q: it exists to be
+       parsed, and an empty array is a meaningful result. *)
+    print_string "[";
+    List.iteri
+      (fun i (file, d) ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (json_diag file d))
+      diags;
+    if diags <> [] then print_newline ();
+    print_endline "]"
+  | Github ->
+    if not !quiet then
+      List.iter (fun (file, d) -> print_endline (github_diag file d)) diags
+  | Plain ->
+    if not !quiet then
+      List.iter
+        (fun (file, d) -> print_endline (Tcl.Lint.format_diag ~file d))
+        diags);
   if !errors + !warnings > 0 && not !quiet then
     Printf.eprintf "tclcheck: %d error(s), %d warning(s) in %d file(s)\n"
       !errors !warnings (List.length files);

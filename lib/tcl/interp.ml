@@ -108,6 +108,9 @@ type signature = {
   sig_min : int;  (* arguments after the command name *)
   sig_max : int;  (* -1 = unbounded *)
   sig_subs : sub_sig list;
+  sig_open_subs : bool;
+      (* an unmatched first argument is legal (e.g. [send appName ...]):
+         the analyzer only warns on near-miss subcommand spellings *)
   sig_options : string list;  (* leading -switches the command accepts *)
   sig_scripts : int list;  (* 1-based indices of script arguments *)
   sig_checks : arg_check list;
@@ -116,14 +119,15 @@ type signature = {
 
 let subsig ?(max = -1) name min = { sub_name = name; sub_min = min; sub_max = max }
 
-let signature ?(max = -1) ?(subs = []) ?(options = []) ?(scripts = [])
-    ?(checks = []) ?widget ~usage name min =
+let signature ?(max = -1) ?(subs = []) ?(open_subs = false) ?(options = [])
+    ?(scripts = []) ?(checks = []) ?widget ~usage name min =
   {
     sig_name = name;
     sig_usage = usage;
     sig_min = min;
     sig_max = max;
     sig_subs = subs;
+    sig_open_subs = open_subs;
     sig_options = options;
     sig_scripts = scripts;
     sig_checks = checks;
@@ -202,6 +206,8 @@ type vm_stats = {
   mutable v_deopts : int;  (* inlined opcodes that fell back to dispatch *)
   mutable v_slot_hits : int;  (* variable reads/writes served by a slot
                                  or a valid inline cache *)
+  mutable v_seeded : int;  (* procs lowered with analyzer kind seeds *)
+  mutable v_seed_primed : int;  (* argument reps primed at bind time *)
 }
 
 type t = {
@@ -274,6 +280,9 @@ type t = {
          skip the string round-trip; None whenever no typed producer
          ran (consumers then parse the string result as before) *)
   vm : vm_stats;
+  kind_seeds : (string, (string * Vm.kind) list) Hashtbl.t;
+      (* per-proc formal kinds proven by the analyzer (Lint.o_facts),
+         applied as Vm.lower_proc seeds on the next lowering *)
 }
 
 and command = t -> string list -> result
@@ -392,7 +401,15 @@ let create () =
     vm_canon_defs = [];
     vm_lastcmd = None;
     vm_xval = None;
-    vm = { v_compiled = 0; v_deopts = 0; v_slot_hits = 0 };
+    vm =
+      {
+        v_compiled = 0;
+        v_deopts = 0;
+        v_slot_hits = 0;
+        v_seeded = 0;
+        v_seed_primed = 0;
+      };
+    kind_seeds = Hashtbl.create 8;
   }
 
 let current_frame t =
@@ -868,7 +885,9 @@ let vm_enabled t = t.vm_enabled
 let reset_vm_stats t =
   t.vm.v_compiled <- 0;
   t.vm.v_deopts <- 0;
-  t.vm.v_slot_hits <- 0
+  t.vm.v_slot_hits <- 0;
+  t.vm.v_seeded <- 0;
+  t.vm.v_seed_primed <- 0
 
 let vm_stats t =
   [
@@ -877,7 +896,17 @@ let vm_stats t =
     ("compiled", string_of_int t.vm.v_compiled);
     ("deopts", string_of_int t.vm.v_deopts);
     ("slot_hits", string_of_int t.vm.v_slot_hits);
+    ("seeded", string_of_int t.vm.v_seeded);
+    ("seed_primed", string_of_int t.vm.v_seed_primed);
   ]
+
+let seed_proc_kinds t name facts =
+  if facts = [] then Hashtbl.remove t.kind_seeds name
+  else Hashtbl.replace t.kind_seeds name facts;
+  (* A proc already lowered relowers with the seed on its next call. *)
+  match Hashtbl.find_opt t.commands name with
+  | Some (Proc p) -> p.pvm <- None
+  | _ -> ()
 
 let clear_compile_caches t =
   Hashtbl.reset t.script_cache;
@@ -2353,7 +2382,7 @@ and exec_vinsn t (want : wantv) (insn : frame Vm.insn) =
 
 (* Lowered code for a procedure body, built on first VM call and cached
    on the proc record (a redefinition installs a fresh record). *)
-and proc_vm_code t p =
+and proc_vm_code t name p =
   match p.pvm with
   | Some code -> code
   | None ->
@@ -2365,13 +2394,19 @@ and proc_vm_code t p =
         p.pcode <- Some code;
         code
     in
+    let seed =
+      match Hashtbl.find_opt t.kind_seeds name with
+      | Some facts -> facts
+      | None -> []
+    in
     let code =
-      Vm.lower_proc
+      Vm.lower_proc ~seed
         ~compile:(fun s -> compile_counted t s)
         ~formals:(List.map fst p.formals)
         pcode
     in
     t.vm.v_compiled <- t.vm.v_compiled + 1;
+    if seed <> [] then t.vm.v_seeded <- t.vm.v_seeded + 1;
     p.pvm <- Some code;
     code
 
@@ -2480,7 +2515,36 @@ and vm_take_frame p (code : frame Vm.code) =
     f
   | _ -> vm_frame code.Vm.locals
 
+(* Prime the dual-ported reps of bound arguments whose slots the
+   analyzer proved always hold an integer, float or list: parsing the
+   rep now (it would be parsed on first use anyway) lets the proc's
+   first execution run on the typed fast paths instead of shimmering
+   through strings.  Always semantically safe — priming only parses
+   earlier, never changes a value. *)
+and vm_prime_kinds t (code : frame Vm.code) frame =
+  let kinds = code.Vm.kinds in
+  for i = 0 to Array.length kinds - 1 do
+    match kinds.(i) with
+    | None -> ()
+    | Some k -> (
+      match frame.lcells.(i) with
+      | None -> ()
+      | Some v -> (
+        match k with
+        | Vm.Kint | Vm.Kfloat ->
+          if v.Tval.n = Tval.Nmaybe then begin
+            ignore (Tval.num v);
+            t.vm.v_seed_primed <- t.vm.v_seed_primed + 1
+          end
+        | Vm.Klist ->
+          if v.Tval.l = None then begin
+            ignore (Tval.list v);
+            t.vm.v_seed_primed <- t.vm.v_seed_primed + 1
+          end))
+  done
+
 and run_proc_frame t want name p (code : frame Vm.code) frame =
+  if Array.length code.Vm.kinds > 0 then vm_prime_kinds t code frame;
   t.stack <- frame :: t.stack;
   match exec_vm t want code with
   | res ->
@@ -2498,7 +2562,7 @@ and run_proc_frame t want name p (code : frame Vm.code) frame =
     raise e
 
 and call_proc_vm t want name p (actuals : Tval.t list) =
-  let code = proc_vm_code t p in
+  let code = proc_vm_code t name p in
   let frame = vm_take_frame p code in
   match vm_bind_formals frame name p.formals actuals with
   | Some msg -> (Tcl_error, msg)
@@ -2509,7 +2573,7 @@ and call_proc_vm t want name p (actuals : Tval.t list) =
 and call_proc_vm1 t want name p (v1 : Tval.t) =
   match p.formals with
   | [ (formal, _) ] when not (String.equal formal "args") ->
-    let code = proc_vm_code t p in
+    let code = proc_vm_code t name p in
     let frame = vm_take_frame p code in
     vm_set_slot frame formal v1;
     run_proc_frame t want name p code frame

@@ -118,8 +118,17 @@ val reset_vm_stats : t -> unit
 val vm_stats : t -> (string * string) list
 (** Counters for the metrics registry ([tcl.vm.*]): whether the VM is
     enabled and currently canonical, lowered code objects built,
-    per-instruction deopts to dispatched commands, and variable
-    accesses served by local slots or inline caches. *)
+    per-instruction deopts to dispatched commands, variable accesses
+    served by local slots or inline caches, procs lowered with analyzer
+    kind seeds, and argument reps primed at bind time. *)
+
+val seed_proc_kinds : t -> string -> (string * Vm.kind) list -> unit
+(** Install analyzer-proven formal-parameter kinds (Lint [o_facts]) for
+    a procedure.  The next VM lowering of the proc carries them as
+    {!Vm.lower_proc} seeds, so calls prime bound arguments' numeric or
+    list reps instead of shimmering through strings on first use.
+    Always semantically safe: priming only parses a rep earlier.  An
+    empty fact list clears the seed. *)
 
 val mark_canonical : t -> unit
 (** Snapshot the current definitions of the structural commands the VM
@@ -360,6 +369,9 @@ type signature = {
   sig_min : int;  (** arguments after the command name *)
   sig_max : int;  (** -1 = unbounded *)
   sig_subs : sub_sig list;
+  sig_open_subs : bool;
+      (** an unmatched first argument is legal (e.g. [send appName ...]);
+          the analyzer only warns on near-miss subcommand spellings *)
   sig_options : string list;
   sig_scripts : int list;  (** 1-based indices of script arguments *)
   sig_checks : arg_check list;
@@ -372,6 +384,7 @@ val subsig : ?max:int -> string -> int -> sub_sig
 val signature :
   ?max:int ->
   ?subs:sub_sig list ->
+  ?open_subs:bool ->
   ?options:string list ->
   ?scripts:int list ->
   ?checks:arg_check list ->

@@ -1,22 +1,22 @@
-(** Static analysis of Tcl/Tk scripts over the {!Compile} representation.
+(** Static analysis of Tcl/Tk scripts — compile-time checking in the
+    spirit of what the C compiler does for Xt applications, extended to
+    whole programs.
 
-    {!analyze} compiles a script (directly — bypassing the interpreter's
-    caches and executing nothing) and checks it against the command
-    signature registry ({!Interp.signature}): unknown commands,
-    misspelled subcommands and [-options] (with "did you mean"
-    suggestions), arity against the registry's exact
-    ["wrong # args"] usage strings, per-procedure use-before-set
-    dataflow, unreachable code after [return]/[break]/[continue]/
-    [error], per-argument literal validators (the toolkit hooks binding
-    event-pattern validation here), and widget path shape (a parent
-    must be created within the same script or already live in the
-    interpreter).
+    {!analyze_program} compiles every file (never executing anything)
+    and walks the result with the command-signature registry
+    ({!Interp.signature}), a whole-program call graph ({!Callgraph})
+    and an abstract interpreter over the value-kind lattice
+    ({!Absint}).  Each diagnostic carries the [pass] that produced it:
+    ["syntax"], ["unknown"], ["arity"], ["subcommand"], ["options"],
+    ["check"], ["widget"], ["dataflow"], ["deadcode"], ["absint"],
+    ["callgraph"] or ["capability"].
 
-    Unknown-command reports are suppressed for names the script itself
-    defines ([proc], [rename], widget creation), and entirely when a
-    user [unknown] handler is visible.  Dynamic words (with [$] or
-    [\[...\]] substitutions) defeat any check needing their value: the
-    analysis aims for zero false positives on working scripts. *)
+    Unknown-command reports are suppressed for names the program itself
+    defines ([proc], [rename], [interp alias], widget creation), and
+    entirely when a user [unknown] handler is visible.  Dynamic words
+    (with [$] or [\[...\]] substitutions) defeat any check needing
+    their value: the analysis aims for zero false positives on working
+    scripts. *)
 
 type severity = Error | Warning
 
@@ -24,13 +24,38 @@ type diag = {
   line : int;  (** 1-based *)
   col : int;  (** 1-based *)
   severity : severity;
+  pass : string;  (** which analysis produced it, e.g. ["arity"] *)
   message : string;
 }
 
-val analyze : Interp.t -> string -> diag list
-(** Check a script, sorted by position.  Never executes it; the only
-    interpreter state touched is the [tcl.lint.*] counters
-    ({!Interp.note_lint}). *)
+type outcome = {
+  o_diags : (string option * diag) list;
+      (** per-file diagnostics, in file order then position order *)
+  o_procs : int;  (** procedures defined across the program *)
+  o_edges : int;  (** call-graph edges (calls + mentions) *)
+  o_facts : (string * (string * Vm.kind) list) list;
+      (** per-procedure formal-parameter kind facts proven by the
+          interprocedural fixpoint — seeds for {!Vm} lowering *)
+}
+
+val analyze_program :
+  ?safe:bool ->
+  ?whole:bool ->
+  Interp.t ->
+  (string option * string) list ->
+  outcome
+(** Analyze a program given as [(filename, source)] pairs sharing one
+    namespace of procedures, widgets and aliases.  [safe] additionally
+    reports every reachable use of a command the [-safe] interpreter
+    profile hides (directly or through an [interp alias]).  [whole]
+    enables whole-program-only reports (procedures defined but never
+    called) that would misfire on a lone script fragment.  Never
+    executes any script; the only interpreter state touched is the
+    [tcl.lint.*] counters ({!Interp.note_lint}). *)
+
+val analyze : ?safe:bool -> Interp.t -> string -> diag list
+(** Check a single anonymous script, sorted by position
+    (script-local checks only). *)
 
 val complete : string -> bool
 (** Whether a script's braces, brackets and quotes balance — the

@@ -29,11 +29,20 @@ type 'f vref =
   | Rslot of int * string  (** procedure local: slot index + name *)
   | Rname of string * 'f cache  (** by-name with inline cache *)
 
+(* Value-kind facts the static analyzer (Lint/Absint) can attach to a
+   procedure's formal slots: every value ever bound to the slot is known
+   to be of this kind, so the executor may prime the matching Tval rep
+   at bind time and the first execution never shimmers. *)
+type kind = Kint | Kfloat | Klist
+
 type 'f code = {
   insns : 'f insn array;
   locals : string array;
       (** slot names for the frame this code runs in ([||] for nested
           and top-level code: nested code shares the enclosing frame) *)
+  kinds : kind option array;
+      (** analyzer-proven value kinds per local slot ([||] when no seed
+          was supplied); same length as [locals] otherwise *)
 }
 
 and 'f insn =
@@ -157,7 +166,11 @@ let rec lower_word st (w : Compile.word) =
   | Compile.W_parts _ | Compile.W_fail _ -> Wgen w
 
 and lower_prog st (prog : Compile.program) =
-  { insns = Array.of_list (List.map (lower_command st) prog); locals = [||] }
+  {
+    insns = Array.of_list (List.map (lower_command st) prog);
+    locals = [||];
+    kinds = [||];
+  }
 
 and lower_body st src = lower_prog st (st.compile src)
 
@@ -307,7 +320,7 @@ let lower ~compile prog =
   in
   lower_prog st prog
 
-let lower_proc ~compile ~formals prog =
+let lower_proc ?(seed = []) ~compile ~formals prog =
   let st =
     { compile; alloc = true; tbl = Hashtbl.create 8; names = []; count = 0 }
   in
@@ -324,4 +337,9 @@ let lower_proc ~compile ~formals prog =
       end)
     formals;
   let code = lower_prog st prog in
-  { code with locals = Array.of_list (List.rev st.names) }
+  let locals = Array.of_list (List.rev st.names) in
+  let kinds =
+    if seed = [] then [||]
+    else Array.map (fun name -> List.assoc_opt name seed) locals
+  in
+  { code with locals; kinds }

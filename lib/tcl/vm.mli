@@ -23,11 +23,20 @@ type 'f vref =
   | Rslot of int * string  (** procedure local: slot index + name *)
   | Rname of string * 'f cache  (** by-name lookup with inline cache *)
 
+type kind = Kint | Kfloat | Klist
+(** A value-kind fact the static analyzer ({!Lint}/{!Absint}) can prove
+    about a procedure's formal slot: every value bound there is of this
+    kind, so the executor may prime the matching {!Tval} rep at bind
+    time (always semantically safe — priming only parses earlier). *)
+
 type 'f code = {
   insns : 'f insn array;
   locals : string array;
       (** slot names for the frame this code runs in ([||] for nested
           and top-level code, which share the enclosing frame) *)
+  kinds : kind option array;
+      (** analyzer-proven value kinds per local slot ([||] when no seed
+          was supplied; same length as [locals] otherwise) *)
 }
 
 and 'f insn =
@@ -92,6 +101,7 @@ val lower : compile:(string -> Compile.program) -> Compile.program -> 'f code
     expressions. *)
 
 val lower_proc :
+  ?seed:(string * kind) list ->
   compile:(string -> Compile.program) ->
   formals:string list ->
   Compile.program ->
@@ -99,4 +109,7 @@ val lower_proc :
 (** Lower a procedure body. Formals claim the first local slots, and
     literal [set]/[incr]/[foreach] targets (and [$x] reads) claim
     further ones as they appear, up to a small bound; the executor
-    builds the call frame from [locals]. *)
+    builds the call frame from [locals]. [seed] attaches analyzer-proven
+    value kinds to the named slots ({!kind}); the executor uses them to
+    prime bound arguments' numeric/list reps so canonical procedures
+    skip first-execution shimmering. *)

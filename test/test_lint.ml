@@ -285,7 +285,8 @@ let lint_command_tests =
       fun () ->
         let _, app = fresh_app () in
         let msg = run_err app "lint" in
-        check_bool "usage" true (contains ~needle:"lint script" msg) );
+        check_bool "usage" true
+          (contains ~needle:"lint ?-safe? ?-seed? script" msg) );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -403,6 +404,283 @@ let metrics_tests =
         check_string "reset" "0" (run app "xstat get tcl.lint.runs") );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The whole-program tier (PR 10): call graph, abstract interpretation
+   and the -safe capability checker.  [analyze_program ~whole:true] is
+   what tclcheck runs; script-local [analyze] must never produce the
+   whole-program-only reports. *)
+
+let lint_whole ?(safe = false) app src =
+  let out =
+    Tcl.Lint.analyze_program ~safe ~whole:true app.Tk.Core.interp
+      [ (Some "test.tcl", src) ]
+  in
+  List.map (fun (_, d) -> d.Tcl.Lint.message) out.Tcl.Lint.o_diags
+
+(* Each fixture: (name, safe?, script, expected substring). *)
+let whole_defect_fixtures =
+  [
+    ( "unreachable procedure",
+      false,
+      "proc orphan {} {return 1}\nputs hi",
+      "procedure \"orphan\" is defined but never called" );
+    ( "direct infinite recursion",
+      false,
+      "proc loopy {} {loopy}\nloopy",
+      "\"loopy\" unconditionally calls \"loopy\": infinite recursion is \
+       guaranteed" );
+    ( "mutual infinite recursion",
+      false,
+      "proc ping {} {pong}\nproc pong {} {ping}\nping",
+      "infinite recursion is guaranteed" );
+    ( "divide by zero in expr",
+      false,
+      "set x [expr {1 / 0}]",
+      "divide by zero" );
+    ( "divide by zero through a constant variable",
+      false,
+      "set d 0\nexpr {10 / $d}",
+      "divide by zero" );
+    ( "mod by zero",
+      false,
+      "expr {5 % 0}",
+      "divide by zero" );
+    ( "float fed to an integer operator",
+      false,
+      "expr {1.5 % 2}",
+      "expected integer but got \"1.5\"" );
+    ( "non-numeric operand",
+      false,
+      "expr {\"abc\" + 1}",
+      "expected number but got \"abc\"" );
+    ( "non-boolean constant condition",
+      false,
+      "if {\"xyz\"} {puts hi}",
+      "expected boolean value but got \"xyz\"" );
+    ( "incr of a constant string",
+      false,
+      "set s hello\nincr s",
+      "expected integer but got \"hello\" (reading value of variable \"s\" \
+       to increment)" );
+    ( "incr with a non-integer increment",
+      false,
+      "set i 0\nincr i 1.5",
+      "expected integer but got \"1.5\" (reading increment)" );
+    ( "incr of a kind that survives an unrelated branch",
+      false,
+      "set x ok\nif {[info exists y]} {puts maybe}\nincr x",
+      "expected integer but got \"ok\"" );
+    ( "constant lindex out of range",
+      false,
+      "lindex {a b c} 5",
+      "constant index 5 is out of range for this 3-element list" );
+    ( "dead code after a constant-true while",
+      false,
+      "while 1 {set spin 1}\nputs x",
+      "unreachable command after \"while\"" );
+    ( "dead code after an if whose arms all return",
+      false,
+      "proc p {x} {\n  if {$x} {return 1} else {return 0}\n  puts x\n}\np 1",
+      "unreachable command after \"if\"" );
+    ( "interprocedural use-before-set via upvar",
+      false,
+      "proc reader {} {\n  upvar 1 q local\n  puts $local\n}\n\
+       proc caller {} {reader}\ncaller",
+      "\"q\" may be used before being set in procedure \"caller\" (read via \
+       upvar by \"reader\")" );
+    ( "safe: direct hidden command",
+      true,
+      "exec ls",
+      "hidden command \"exec\" would be denied in a safe interpreter" );
+    ( "safe: hidden command inside a reachable proc",
+      true,
+      "proc cleanup {} {exec rm -f /tmp/x}\ncleanup",
+      "hidden command \"exec\" would be denied in a safe interpreter" );
+    ( "safe: aliased hidden command",
+      true,
+      "interp alias {} bye {} exit\nproc q {} {bye}\nq",
+      "\"bye\" is an alias for hidden command \"exit\" and would be denied \
+       in a safe interpreter" );
+    ( "safe: hidden command under constant eval",
+      true,
+      "eval {exec ls}",
+      "hidden command \"exec\" would be denied in a safe interpreter" );
+    ( "safe: hidden command in a deferred after script",
+      true,
+      "proc attack {} {exit 7}\nafter 10 attack",
+      "hidden command \"exit\" would be denied in a safe interpreter" );
+    ( "send misspelled subcommand",
+      false,
+      "send wiat h",
+      "\"wiat\" is not a send subcommand (did you mean \"wait\"?)" );
+    ( "send misspelled option",
+      false,
+      "send -asinc calc {set x 1}",
+      "bad option \"-asinc\"" );
+    ( "send wait arity",
+      false,
+      "send wait",
+      "wrong # args: should be \"send" );
+    ( "send result misspelling",
+      false,
+      "send reslut h",
+      "did you mean \"result\"" );
+  ]
+
+let whole_defect_tests =
+  List.map
+    (fun (name, safe, script, needle) ->
+      ( name,
+        fun () ->
+          let _, app = fresh_app () in
+          let found = lint_whole ~safe app script in
+          if not (List.exists (contains ~needle) found) then
+            Alcotest.failf "expected a diagnostic containing %S, got: %s"
+              needle
+              (String.concat " | " found) ))
+    whole_defect_fixtures
+
+(* Whole-program mode must stay quiet on these: reachability through
+   mentions (callbacks, aliases), conditional recursion, terminators
+   that only may fire, and hidden commands in provably dead code. *)
+let whole_clean_fixtures =
+  [
+    ( "callback reference keeps a proc reachable",
+      false,
+      "proc cb {} {puts pressed}\nbutton .b -command cb" );
+    ( "conditional recursion is not infinite recursion",
+      false,
+      "proc fact {n} {\n  if {$n < 2} {return 1}\n\
+       \  return [expr $n * [fact [expr $n - 1]]]\n}\nfact 5" );
+    ( "catch of an error does not kill the rest of the script",
+      false,
+      "catch {error boom}\nputs ok" );
+    ( "a constant-false branch does not kill the rest of the script",
+      false,
+      "if {0} {error boom}\nputs ok" );
+    ( "a loop body break does not kill code after the loop",
+      false,
+      "while 1 {\n  break\n}\nputs ok" );
+    ( "safe: hidden command in an unreported dead branch",
+      true,
+      "if {0} {exec ls}\nputs ok" );
+    ( "alias target mention keeps the proc live",
+      false,
+      "interp create worker\nproc respond {q} {return yes}\n\
+       interp alias worker ask {} respond\ninterp delete worker" );
+    ( "kinds reset across unknown branches",
+      false,
+      "set x 1\nif {[info exists y]} {set x hello}\nputs $x" );
+  ]
+
+let whole_clean_tests =
+  List.map
+    (fun (name, safe, script) ->
+      ( name,
+        fun () ->
+          let _, app = fresh_app () in
+          match lint_whole ~safe app script with
+          | [] -> ()
+          | found ->
+            Alcotest.failf "false positive on %S: %s" script
+              (String.concat " | " found) ))
+    whole_clean_fixtures
+
+(* Script-local [analyze] (the [lint] command, in-editor use) must not
+   produce whole-program-only reports: a lone fragment defining helpers
+   it never calls is normal. *)
+let scope_tests =
+  [
+    ( "analyze does not report unreachable procs",
+      fun () ->
+        let _, app = fresh_app () in
+        match messages (lint app "proc helper {} {return 1}") with
+        | [] -> ()
+        | found ->
+          Alcotest.failf "script-local analyze leaked whole-program \
+                          reports: %s"
+            (String.concat " | " found) );
+    ( "multi-file: procs resolve across files",
+      fun () ->
+        let _, app = fresh_app () in
+        let out =
+          Tcl.Lint.analyze_program ~whole:true app.Tk.Core.interp
+            [
+              (Some "lib.tcl", "proc two {a b} {return $a}");
+              (Some "main.tcl", "two 1 2 3");
+            ]
+        in
+        let arity =
+          List.filter
+            (fun (f, d) ->
+              f = Some "main.tcl"
+              && contains ~needle:"called \"two\" with too many arguments"
+                   d.Tcl.Lint.message)
+            out.Tcl.Lint.o_diags
+        in
+        check_int "arity error attributed to the calling file" 1
+          (List.length arity);
+        check_bool "call graph saw the cross-file edge" true
+          (out.Tcl.Lint.o_edges > 0);
+        check_int "both procs counted" 1 out.Tcl.Lint.o_procs );
+    ( "kind facts are proven for canonical numeric procs",
+      fun () ->
+        let _, app = fresh_app () in
+        let out =
+          Tcl.Lint.analyze_program ~whole:true app.Tk.Core.interp
+            [
+              ( None,
+                "proc fib {n} {\n\
+                 \  if {$n < 2} {return $n}\n\
+                 \  return [expr [fib [expr $n - 1]] + [fib [expr $n - 2]]]\n\
+                 }\n\
+                 fib 10" );
+            ]
+        in
+        match List.assoc_opt "fib" out.Tcl.Lint.o_facts with
+        | Some [ ("n", Tcl.Vm.Kint) ] -> ()
+        | Some other ->
+          Alcotest.failf "unexpected facts for fib: %d" (List.length other)
+        | None -> Alcotest.fail "no kind facts proven for fib" );
+  ]
+
+(* lint -safe over PR 7's hostile storm scripts: every hidden
+   invocation reported, nothing executed, the interpreter unharmed. *)
+let safe_non_execution_tests =
+  [
+    ( "lint -safe executes nothing on a hostile script",
+      fun () ->
+        let _, app = fresh_app () in
+        let out =
+          run app
+            "lint -safe {proc attack {} {exit 7}\nafter 10 attack\n\
+             while 1 {after 1}}"
+        in
+        check_bool "exit flagged" true
+          (contains ~needle:"hidden command \"exit\"" out);
+        check_string "interp alive afterwards" "4" (run app "expr 2+2") );
+    ( "lint -safe flags an aliased hidden command without executing",
+      fun () ->
+        let _, app = fresh_app () in
+        let out =
+          run app "lint -safe {interp alias {} leave {} exit\nleave}"
+        in
+        check_bool "alias flagged" true
+          (contains
+             ~needle:"\"leave\" is an alias for hidden command \"exit\"" out);
+        check_bool "no alias actually created" false
+          (Tcl.Interp.command_exists app.Tk.Core.interp "leave") );
+    ( "lint -seed installs VM kind seeds",
+      fun () ->
+        let _, app = fresh_app () in
+        ignore
+          (run app
+             "proc double {n} {return [expr $n * 2]}\n\
+              lint -seed {proc double {n} {return [expr $n * 2]}\ndouble 21}");
+        check_string "seed applied on next lowering" "42" (run app "double 21");
+        check_string "seeded counter" "1" (run app "xstat get tcl.vm.seeded") );
+  ]
+
 let () =
   let wrap = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) in
   Alcotest.run "lint"
@@ -413,6 +691,10 @@ let () =
         wrap [ ("every examples/*.tcl lints clean", examples_sweep) ] );
       ("lint command", wrap lint_command_tests);
       ("non-execution", wrap non_execution_tests);
+      ("whole-program defects", wrap whole_defect_tests);
+      ("whole-program clean", wrap whole_clean_tests);
+      ("analysis scope", wrap scope_tests);
+      ("safe and seed", wrap safe_non_execution_tests);
       ("shared messages", wrap shared_message_tests);
       ("info complete", wrap info_complete_tests);
       ("metrics", wrap metrics_tests);
